@@ -1,0 +1,67 @@
+// Command characterize runs the gate-level dynamic timing analysis for
+// one instruction and dumps the per-endpoint timing-error CDF onsets and
+// selected violation probabilities, the data behind the paper's Fig. 2.
+//
+//	characterize -op l.mul -vdd 0.7 -cycles 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("characterize: ")
+	opName := flag.String("op", "l.add", "instruction mnemonic (e.g. l.add, l.mul, l.sfgts)")
+	vdd := flag.Float64("vdd", 0.7, "supply voltage in V")
+	cycles := flag.Int("cycles", 8192, "characterization kernel cycles")
+	gen := flag.String("gen", "", "operand generator override (u32, u16, u8, imm16, ...)")
+	flag.Parse()
+
+	var op isa.Op
+	for _, o := range isa.AllOps() {
+		if o.String() == *opName {
+			op = o
+		}
+	}
+	if op == isa.OpInvalid || !isa.IsALU(op) {
+		log.Fatalf("%q is not an FI-eligible ALU instruction", *opName)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.DTA.Cycles = *cycles
+	sys := core.New(cfg)
+
+	var profile map[circuit.UnitKind]string
+	if *gen != "" {
+		profile = map[circuit.UnitKind]string{circuit.UnitOf(op): *gen}
+	}
+	ch, err := sys.Char.ForOp(op, profile, *vdd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instruction    %v (unit %v, operands %q)\n", op, ch.Key.Unit, ch.Key.Gen)
+	fmt.Printf("vdd            %.3f V, %d cycles, setup %.1f ps\n", *vdd, ch.Cycles, ch.SetupPs)
+	fmt.Printf("STA limit      %.1f MHz\n", sys.STALimitMHz(*vdd))
+	fmt.Printf("onset          %.1f MHz (first timing violations)\n", ch.OnsetMHz())
+	fmt.Printf("\n%8s %12s %12s %10s %10s %10s\n",
+		"endpoint", "maxArr[ps]", "onset[MHz]", "P@900MHz", "P@1200MHz", "P@1600MHz")
+	for e := 0; e < ch.NumEndpoints(); e++ {
+		name := fmt.Sprintf("bit%d", e)
+		if e == circuit.FlagEndpoint {
+			name = "flag"
+		}
+		c := ch.CDFs[e]
+		fmt.Printf("%8s %12.1f %12.1f %9.2f%% %9.2f%% %9.2f%%\n",
+			name, c.MaxPs(), c.OnsetMHz(),
+			c.ViolationProb(circuit.PeriodPs(900))*100,
+			c.ViolationProb(circuit.PeriodPs(1200))*100,
+			c.ViolationProb(circuit.PeriodPs(1600))*100)
+	}
+}

@@ -1,0 +1,74 @@
+// Command paperrepro regenerates the paper's tables and figures as text
+// series. With -scale 1 it uses the paper's trial counts; smaller scales
+// trade resolution for speed.
+//
+//	paperrepro -exp all -scale 0.25
+//	paperrepro -exp fig5 -dta 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperrepro: ")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig4, fig5, fig6, fig7, all")
+	scale := flag.Float64("scale", 1.0, "trial-count / resolution scale (1 = paper fidelity)")
+	seed := flag.Int64("seed", 1, "master random seed")
+	dtaCycles := flag.Int("dta", 8192, "DTA characterization kernel cycles per instruction")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.DTA.Cycles = *dtaCycles
+	sys := core.New(cfg)
+	o := experiments.Options{System: sys, Out: os.Stdout, Scale: *scale, Seed: *seed}
+
+	run := func(name string) error {
+		fmt.Printf("==== %s ====\n", name)
+		switch name {
+		case "table1":
+			_, err := experiments.Table1(o)
+			return err
+		case "table2":
+			experiments.Table2(o)
+			return nil
+		case "fig1":
+			_, err := experiments.Fig1(o)
+			return err
+		case "fig2":
+			_, err := experiments.Fig2(o)
+			return err
+		case "fig4":
+			_, err := experiments.Fig4(o)
+			return err
+		case "fig5":
+			_, err := experiments.Fig5(o)
+			return err
+		case "fig6":
+			_, err := experiments.Fig6(o)
+			return err
+		case "fig7":
+			_, err := experiments.Fig7(o)
+			return err
+		}
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+
+	names := []string{"table1", "table2", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7"}
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	for _, n := range names {
+		if err := run(strings.TrimSpace(n)); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command sweep runs a benchmark under a fault model across a frequency
+// range and prints the four application metrics per point, including the
+// point of first failure and its gain over the STA limit.
+//
+//	sweep -bench kmeans -model C -vdd 0.7 -sigma 0.010 -lo 680 -hi 950 -step 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	name := flag.String("bench", "median", "benchmark name")
+	model := flag.String("model", "C", "fault model: A, B, B+, C")
+	vdd := flag.Float64("vdd", 0.7, "supply voltage in V")
+	sigma := flag.Float64("sigma", 0, "supply noise sigma in V")
+	lo := flag.Float64("lo", 650, "sweep start in MHz")
+	hi := flag.Float64("hi", 1100, "sweep end in MHz")
+	step := flag.Float64("step", 25, "sweep step in MHz")
+	trials := flag.Int("trials", 100, "Monte-Carlo trials per point")
+	seed := flag.Int64("seed", 1, "random seed")
+	dtaCycles := flag.Int("dta", 8192, "DTA characterization cycles")
+	flag.Parse()
+
+	b, err := bench.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.DTA.Cycles = *dtaCycles
+	sys := core.New(cfg)
+	spec := mc.Spec{
+		System: sys,
+		Bench:  b,
+		Model:  core.ModelSpec{Kind: *model, Vdd: *vdd, Sigma: *sigma},
+		Trials: *trials,
+		Seed:   *seed,
+	}
+	var freqs []float64
+	for f := *lo; f <= *hi; f += *step {
+		freqs = append(freqs, f)
+	}
+	fmt.Printf("%8s %9s %9s %12s %14s\n", "f[MHz]", "finished", "correct", "FI/kCycle", b.MetricName)
+	var pts []mc.Point
+	for _, f := range freqs {
+		p, err := mc.Run(spec, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts = append(pts, p)
+		fmt.Printf("%8.1f %8.1f%% %8.1f%% %12.4f %14.6g\n",
+			p.FreqMHz, p.FinishedPct, p.CorrectPct, p.FIRate, p.OutputErr)
+	}
+	sta := sys.STALimitMHz(*vdd)
+	if poff, ok := mc.PoFF(pts); ok {
+		fmt.Printf("PoFF %.1f MHz, STA limit %.1f MHz, gain %.1f%%\n",
+			poff, sta, mc.GainOverSTA(poff, sta))
+	} else {
+		fmt.Printf("no failure in range (STA limit %.1f MHz)\n", sta)
+	}
+}

@@ -1,0 +1,50 @@
+// Approximate-computing trade-off: reproduce the reasoning of the
+// paper's Fig. 7 for the median kernel. The core keeps its nominal
+// 707 MHz clock while the supply is scaled below 0.7 V; model C predicts
+// the output-quality degradation and the power model translates the
+// voltage reduction into savings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/timing"
+)
+
+func main() {
+	cfg := repro.DefaultConfig()
+	cfg.DTA.Cycles = 2048
+	sys := repro.NewSystem(cfg)
+	median, err := repro.BenchmarkByName("median")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fNom := sys.STALimitMHz(timing.VRef)
+	pm := sys.Cfg.Power
+
+	fmt.Printf("median @ fixed %.0f MHz, voltage over-scaling, sigma = 10 mV\n\n", fNom)
+	fmt.Printf("%8s %10s %12s %10s\n", "Vdd[V]", "P/Pnom", "avg-rel-err", "finished")
+	for v := 0.700; v >= 0.645; v -= 0.005 {
+		spec := repro.Spec{
+			System: sys,
+			Bench:  median,
+			Model:  repro.ModelSpec{Kind: "C", Vdd: v, Sigma: 0.010},
+			Trials: 30,
+			Seed:   3,
+		}
+		pt, err := repro.Run(spec, fNom)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.3f %10.3f %11.1f%% %9.1f%%\n",
+			v, pm.Normalized(v, timing.VRef, fNom), pt.OutputErrAll, pt.FinishedPct)
+		if pt.OutputErrAll > 99 {
+			break
+		}
+	}
+	fmt.Println("\nReading the frontier: every point trades a power reduction against")
+	fmt.Println("an output-quality loss; the knee marks the margin that can be")
+	fmt.Println("reclaimed before quality collapses (the paper's Fig. 7).")
+}

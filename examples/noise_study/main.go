@@ -1,0 +1,61 @@
+// Noise study: how supply-voltage noise erodes the frequency headroom
+// that dynamic timing slack provides (the mechanism behind the paper's
+// Figs. 1 and 5). For each noise sigma, the example sweeps the k-means
+// kernel and reports where correctness first degrades, contrasting the
+// statistical model C against the pessimistic static model B+.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultConfig()
+	cfg.DTA.Cycles = 2048
+	sys := repro.NewSystem(cfg)
+	kmeans, err := repro.BenchmarkByName("kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sta := sys.STALimitMHz(0.7)
+	fmt.Printf("STA limit: %.0f MHz at 0.7 V\n\n", sta)
+	fmt.Printf("%10s %8s | %16s | %16s\n", "", "", "model C", "model B+")
+	fmt.Printf("%10s %8s | %16s | %16s\n", "noise", "", "PoFF (gain)", "first failure")
+
+	var freqs []float64
+	for f := 560.0; f <= 950; f += 10 {
+		freqs = append(freqs, f)
+	}
+	for _, sigma := range []float64{0, 0.010, 0.025} {
+		row := fmt.Sprintf("%7.0f mV %8s |", sigma*1000, "")
+		for _, kind := range []string{"C", "B+"} {
+			k := kind
+			if sigma == 0 && kind == "B+" {
+				k = "B"
+			}
+			spec := repro.Spec{
+				System: sys,
+				Bench:  kmeans,
+				Model:  repro.ModelSpec{Kind: k, Vdd: 0.7, Sigma: sigma},
+				Trials: 25,
+				Seed:   7,
+			}
+			pts, err := repro.Sweep(spec, freqs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if poff, ok := repro.PoFF(pts); ok {
+				row += fmt.Sprintf(" %6.0f MHz %+5.1f%% |", poff, (poff/sta-1)*100)
+			} else {
+				row += fmt.Sprintf(" %16s |", "none in range")
+			}
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nModel B+ collapses at a single noise-shifted threshold for every")
+	fmt.Println("workload; model C's statistical, instruction-aware view keeps the")
+	fmt.Println("usable transition region visible.")
+}

@@ -1,0 +1,55 @@
+// Quickstart: build the simulation stack, run the median benchmark under
+// the paper's statistical fault-injection model (model C) at a handful of
+// over-scaled frequencies, and print the application-level metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The default configuration is the paper's case study: a 32-bit
+	// OpenRISC-flavoured core in a synthetic 28 nm process, signed off
+	// at 707 MHz at 0.7 V. A smaller DTA kernel keeps the quickstart
+	// snappy; use the default 8192 for paper-fidelity statistics.
+	cfg := repro.DefaultConfig()
+	cfg.DTA.Cycles = 2048
+	sys := repro.NewSystem(cfg)
+
+	median, err := repro.BenchmarkByName("median")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := repro.Spec{
+		System: sys,
+		Bench:  median,
+		Model: repro.ModelSpec{
+			Kind:  "C",   // the paper's statistical model
+			Vdd:   0.7,   // volts
+			Sigma: 0.010, // 10 mV supply noise
+		},
+		Trials: 40,
+		Seed:   1,
+	}
+
+	fmt.Printf("STA limit at 0.7 V: %.0f MHz\n\n", sys.STALimitMHz(0.7))
+	fmt.Printf("%8s %10s %10s %12s %12s\n",
+		"f[MHz]", "finished", "correct", "FI/kCycle", "rel-err")
+	freqs := []float64{700, 760, 790, 820, 850, 900}
+	pts, err := repro.Sweep(spec, freqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("%8.0f %9.1f%% %9.1f%% %12.4f %11.2f%%\n",
+			p.FreqMHz, p.FinishedPct, p.CorrectPct, p.FIRate, p.OutputErr)
+	}
+	if poff, ok := repro.PoFF(pts); ok {
+		fmt.Printf("\npoint of first failure: %.0f MHz (%.1f%% above the STA limit)\n",
+			poff, (poff/sys.STALimitMHz(0.7)-1)*100)
+	}
+}

@@ -1,0 +1,108 @@
+// Package repro is a reproduction of "Statistical Fault Injection for
+// Impact-Evaluation of Timing Errors on Application Performance"
+// (Constantin, Wang, Karakonstantis, Burg, Chattopadhyay; DAC 2016).
+//
+// It provides a gate-level-characterized statistical fault-injection
+// framework for a 32-bit OpenRISC-flavoured core: generated and
+// calibrated ALU netlists, static and dynamic timing analysis, the
+// paper's injection models A/B/B+/C, a cycle-accurate ISS with
+// fault-injection hooks, the four benchmark kernels of the case study,
+// and a Monte-Carlo harness that regenerates every table and figure of
+// the paper's evaluation.
+//
+// This root package is a thin facade over the internal packages; see
+// examples/ for usage and DESIGN.md for the architecture.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dta"
+	"repro/internal/experiments"
+	"repro/internal/fi"
+	"repro/internal/mc"
+)
+
+// Re-exported core types; see the internal packages for full
+// documentation.
+type (
+	// Config is the full system configuration (circuit, DTA, Vdd-delay,
+	// power, CPU timing, non-ALU safe limit).
+	Config = core.Config
+	// System is one instantiated simulation stack.
+	System = core.System
+	// ModelSpec selects a fault-injection model and operating point.
+	ModelSpec = core.ModelSpec
+	// Benchmark is one workload with golden model and error metric.
+	Benchmark = bench.Benchmark
+	// Spec describes a Monte-Carlo experiment configuration.
+	Spec = mc.Spec
+	// Point is one aggregated (configuration, frequency) data point.
+	Point = mc.Point
+	// Profile overrides DTA operand generators per ALU unit.
+	Profile = dta.Profile
+)
+
+// Fault semantics and sampling modes for ModelSpec.
+const (
+	FlipBit      = fi.FlipBit
+	StaleCapture = fi.StaleCapture
+	Independent  = fi.Independent
+	Joint        = fi.Joint
+)
+
+// DefaultConfig returns the paper's case-study parameters (28 nm core,
+// 707 MHz STA limit at 0.7 V, 8 kCycle DTA characterization).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewSystem builds and calibrates a simulation stack.
+func NewSystem(cfg Config) *System { return core.New(cfg) }
+
+// Benchmarks returns the paper's application kernels (Table 1).
+func Benchmarks() []*Benchmark { return bench.All() }
+
+// BenchmarkByName resolves any application or micro kernel by name.
+func BenchmarkByName(name string) (*Benchmark, error) { return bench.ByName(name) }
+
+// Run evaluates one Monte-Carlo data point at the given frequency (MHz).
+func Run(spec Spec, fMHz float64) (Point, error) { return mc.Run(spec, fMHz) }
+
+// Sweep evaluates a configuration over a frequency list.
+func Sweep(spec Spec, freqs []float64) ([]Point, error) { return mc.Sweep(spec, freqs) }
+
+// PoFF locates the point of first failure in a sweep.
+func PoFF(points []Point) (float64, bool) { return mc.PoFF(points) }
+
+// ExperimentOptions configures the table/figure runners.
+type ExperimentOptions = experiments.Options
+
+// ReproduceAll regenerates every table and figure at the given scale
+// (1 = paper-fidelity trial counts), writing text tables to w.
+func ReproduceAll(sys *System, w io.Writer, scale float64, seed int64) error {
+	o := ExperimentOptions{System: sys, Out: w, Scale: scale, Seed: seed}
+	if _, err := experiments.Table1(o); err != nil {
+		return err
+	}
+	experiments.Table2(o)
+	if _, err := experiments.Fig1(o); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig2(o); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig4(o); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig5(o); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig6(o); err != nil {
+		return err
+	}
+	if _, err := experiments.Fig7(o); err != nil {
+		return err
+	}
+	return nil
+}

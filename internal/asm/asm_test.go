@@ -1,0 +1,215 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func word(t *testing.T, seg Segment, i int) uint32 {
+	t.Helper()
+	b := seg.Bytes[4*i:]
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func TestBasicInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+		l.addi r3,r0,42
+		l.add  r4,r3,r3
+		l.sw   0(r4),r3
+		l.lwz  r5,4(r4)
+		l.sfgts r5,r3
+		l.nop
+		l.sys  0
+	`)
+	wantOps := []isa.Op{isa.OpAddi, isa.OpAdd, isa.OpSw, isa.OpLwz,
+		isa.OpSfgts, isa.OpNop, isa.OpSys}
+	if len(p.Text.Bytes) != 4*len(wantOps) {
+		t.Fatalf("text length %d, want %d", len(p.Text.Bytes), 4*len(wantOps))
+	}
+	for i, op := range wantOps {
+		in := isa.Decode(word(t, p.Text, i))
+		if in.Op != op {
+			t.Errorf("instr %d decoded to %v, want %v", i, in.Op, op)
+		}
+	}
+	in := isa.Decode(word(t, p.Text, 0))
+	if in.RD != 3 || in.RA != 0 || in.Imm != 42 {
+		t.Errorf("addi fields wrong: %+v", in)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+	start:
+		l.addi r3,r0,10
+	loop:
+		l.addi r3,r3,-1
+		l.sfeqi r3,0
+		l.bnf  loop
+		l.j    done
+		l.nop
+	done:
+		l.sys 0
+	`)
+	// l.bnf loop is instruction 3 at entry+12; loop is at entry+4,
+	// so offset is (4-12)/4 = -2 words.
+	in := isa.Decode(word(t, p.Text, 3))
+	if in.Op != isa.OpBnf || in.Imm != -2 {
+		t.Errorf("bnf = %+v, want offset -2", in)
+	}
+	// l.j done: done at entry+24, j at entry+16 -> +2.
+	in = isa.Decode(word(t, p.Text, 4))
+	if in.Op != isa.OpJ || in.Imm != 2 {
+		t.Errorf("j = %+v, want offset 2", in)
+	}
+	if p.Symbols["start"] != p.Entry {
+		t.Errorf("start symbol = %x, want entry %x", p.Symbols["start"], p.Entry)
+	}
+}
+
+func TestDataSectionAndHiLo(t *testing.T) {
+	p := mustAssemble(t, `
+		l.movhi r3,hi(table)
+		l.ori   r3,r3,lo(table)
+		l.sys 0
+	.data
+	.org 0x48000
+	table:
+		.word 1, 2, 0x30, -1
+	`)
+	addr := p.Symbols["table"]
+	if addr != 0x48000 {
+		t.Fatalf("table at %x, want 0x48000", addr)
+	}
+	movhi := isa.Decode(word(t, p.Text, 0))
+	ori := isa.Decode(word(t, p.Text, 1))
+	if uint32(movhi.Imm) != addr>>16 {
+		t.Errorf("movhi imm %x, want %x", movhi.Imm, addr>>16)
+	}
+	if uint32(ori.Imm) != addr&0xFFFF {
+		t.Errorf("ori imm %x, want %x", ori.Imm, addr&0xFFFF)
+	}
+	if p.Data.Base != 0x48000 {
+		t.Errorf("data base %x", p.Data.Base)
+	}
+	if got := word(t, p.Data, 3); got != 0xFFFFFFFF {
+		t.Errorf("data[3] = %x, want -1", got)
+	}
+}
+
+func TestWordLabelFixup(t *testing.T) {
+	p := mustAssemble(t, `
+		l.sys 0
+	.data
+	buf:
+		.word 7
+	ptr:
+		.word buf
+	`)
+	got := word(t, p.Data, 1)
+	if got != p.Symbols["buf"] {
+		t.Errorf(".word buf = %x, want %x", got, p.Symbols["buf"])
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+		l.sys 0
+	.data
+		.byte 1, 2
+		.align 4
+		.half 0x1234
+		.space 2
+		.word 9
+	`)
+	b := p.Data.Bytes
+	if b[0] != 1 || b[1] != 2 || b[2] != 0 || b[3] != 0 {
+		t.Errorf("byte/align wrong: % x", b[:4])
+	}
+	if b[4] != 0x12 || b[5] != 0x34 {
+		t.Errorf("half wrong: % x", b[4:6])
+	}
+	if len(b) != 12 {
+		t.Fatalf("data len %d, want 12", len(b))
+	}
+	if b[11] != 9 {
+		t.Errorf("final word wrong: % x", b[8:12])
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := mustAssemble(t, `
+		; full line comment
+		# another comment style
+		l.addi r1,r0,1   ; trailing comment
+		l.sys 0          # trailing hash comment
+	`)
+	if len(p.Text.Bytes) != 8 {
+		t.Errorf("text length %d, want 8", len(p.Text.Bytes))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src, substr string
+	}{
+		{"l.frob r1,r2,r3", "unknown mnemonic"},
+		{"l.add r1,r2", "expects 3 operands"},
+		{"l.addi r1,r0,0xZZ", "bad number"},
+		{"l.addi r1,r0,0x12345", "out of range"},
+		{"l.addi r1,r0,40000", "out of range"},
+		{"l.bf missing", "undefined symbol"},
+		{"x:\nx:\nl.sys 0", "duplicate label"},
+		{".bogus 3", "unknown directive"},
+		{"l.lwz r1,4[r2]", "bad memory operand"},
+		{"l.add r1,r2,r99", "bad register"},
+		{".align 3", "power of two"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("source %q assembled without error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("source %q: error %q does not mention %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("l.nop\nl.nop\nl.frob r1\n")
+	ae, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("error line %d, want 3", ae.Line)
+	}
+}
+
+func TestNegativeStoreOffset(t *testing.T) {
+	p := mustAssemble(t, "l.sw -8(r4),r5\nl.sys 0")
+	in := isa.Decode(word(t, p.Text, 0))
+	if in.Op != isa.OpSw || in.Imm != -8 || in.RA != 4 || in.RB != 5 {
+		t.Errorf("sw decoded %+v", in)
+	}
+}
+
+func TestOrgBackwardsRejected(t *testing.T) {
+	_, err := Assemble(".data\n.word 1\n.org 0x40000\n")
+	if err == nil || !strings.Contains(err.Error(), "backwards") {
+		t.Errorf("backwards .org not rejected: %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package bench provides the software workloads of the paper's case
+// study (Table 1): median (bubble-sort, control-heavy), 16x16 matrix
+// multiplication in 8- and 16-bit variants (compute-heavy), k-means
+// clustering of 8 2-D points (mixed), and 10-node Dijkstra (graph
+// search, control-heavy), plus the instruction microkernels behind
+// Fig. 4.
+//
+// Each benchmark consists of an assembly kernel for the simulated core, a
+// bit-exact Go golden model, the paper's output-error metric, and an
+// operand Profile that selects matching DTA characterizations for its
+// data widths (Sec. 4.1/4.3 of the paper evaluate 8/16/32-bit variants
+// whose fault statistics differ through exactly this conditioning).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/circuit"
+	"repro/internal/dta"
+	"repro/internal/mem"
+)
+
+// Benchmark describes one workload.
+type Benchmark struct {
+	Name       string
+	MetricName string // the paper's output-error metric for this kernel
+	Profile    dta.Profile
+	// PerTrialInputs regenerates inputs (and golden outputs) for every
+	// Monte-Carlo trial; the paper's microkernels draw fresh uniform
+	// operands per run, while the application kernels use one fixed
+	// characteristic input set.
+	PerTrialInputs bool
+	// PaperKCycles is Table 1's kernel cycle count (reference only).
+	PaperKCycles float64
+
+	// Build returns the assembly source and expected output words for
+	// an input seed.
+	Build func(seed int64) (src string, want []uint32, err error)
+	// OutSymbol/OutWords locate the output buffer in the data image.
+	OutSymbol string
+	OutWords  int
+	// Metric maps (got, want) to the paper's output-error value
+	// (percent for relative/mismatch metrics, raw for MSE).
+	Metric func(got, want []uint32) float64
+}
+
+// Outputs extracts the benchmark's output words after a run.
+func (b *Benchmark) Outputs(m *mem.Memory, p *asm.Program) ([]uint32, error) {
+	addr, ok := p.Symbols[b.OutSymbol]
+	if !ok {
+		return nil, fmt.Errorf("bench: %s: output symbol %q missing", b.Name, b.OutSymbol)
+	}
+	return m.ReadWords(addr, b.OutWords)
+}
+
+// All returns the paper's four application kernels in Table 1 order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		Median(), MatMult8(), MatMult16(), KMeans(), Dijkstra(),
+	}
+}
+
+// Micros returns the Fig. 4 instruction-characterization kernels.
+func Micros() []*Benchmark {
+	return []*Benchmark{MicroAdd16(), MicroAdd32(), MicroMul16()}
+}
+
+// ByName finds a benchmark among All and Micros.
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range append(All(), Micros()...) {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+
+// RelativeErrorPct is the median benchmark's metric: the relative
+// difference of the (single-word) output in percent, capped at 100.
+func RelativeErrorPct(got, want []uint32) float64 {
+	if len(got) == 0 || len(want) == 0 {
+		return 100
+	}
+	w := float64(int32(want[0]))
+	g := float64(int32(got[0]))
+	if w == 0 {
+		if g == 0 {
+			return 0
+		}
+		return 100
+	}
+	e := math.Abs(g-w) / math.Abs(w) * 100
+	if e > 100 {
+		e = 100
+	}
+	return e
+}
+
+// MSEMetric is the matrix-multiplication / microkernel metric: mean
+// squared error over the output words, interpreted as signed values.
+func MSEMetric(got, want []uint32) float64 {
+	if len(got) != len(want) || len(got) == 0 {
+		return math.Inf(1)
+	}
+	var s float64
+	for i := range got {
+		d := float64(int32(got[i])) - float64(int32(want[i]))
+		s += d * d
+	}
+	return s / float64(len(got))
+}
+
+// MismatchPct counts the percentage of output words that differ, the
+// metric of the k-means (cluster membership) and Dijkstra (min distance
+// per node pair) kernels.
+func MismatchPct(got, want []uint32) float64 {
+	if len(got) != len(want) || len(got) == 0 {
+		return 100
+	}
+	n := 0
+	for i := range got {
+		if got[i] != want[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(got)) * 100
+}
+
+// ---------------------------------------------------------------------
+// helpers
+
+// wordList renders values as .word directives, 8 per line.
+func wordList(vals []uint32) string {
+	out := ""
+	for i, v := range vals {
+		if i%8 == 0 {
+			if i > 0 {
+				out += "\n"
+			}
+			out += "\t.word "
+		} else {
+			out += ", "
+		}
+		out += fmt.Sprintf("0x%x", v)
+	}
+	return out + "\n"
+}
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// mulProfile returns a profile constraining the multiplier (and optionally
+// adder/compare) operand widths.
+func mulProfile(gen string) dta.Profile {
+	return dta.Profile{circuit.UnitMul: gen}
+}

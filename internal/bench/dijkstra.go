@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/dta"
+)
+
+// Dijkstra parameters (Table 1: 10 nodes).
+const (
+	DijkstraNodes   = 10
+	DijkstraRepeats = 24
+	dijkstraINF     = 0x7FFFFFFF
+)
+
+// Dijkstra returns the all-pairs shortest-path benchmark: an array-based
+// Dijkstra run from every source of a complete weighted 10-node graph,
+// repeated to match Table 1's kernel length. The output is the 10x10
+// distance matrix; the metric is the percentage of node pairs whose
+// minimum distance is wrong.
+func Dijkstra() *Benchmark {
+	return &Benchmark{
+		Name:       "dijkstra",
+		MetricName: "mismatch in min. distance",
+		// Distance compares involve small 16-bit-ish magnitudes.
+		Profile:      dta.Profile{circuit.UnitCompare: "u16"},
+		PaperKCycles: 984,
+		OutSymbol:    "outd",
+		OutWords:     DijkstraNodes * DijkstraNodes,
+		Metric:       MismatchPct,
+		Build:        buildDijkstra,
+	}
+}
+
+// goldenDijkstra mirrors the kernel: INF sentinel, strict unsigned
+// less-than in both the min scan and the relaxation, zero-weight entries
+// meaning "no edge".
+func goldenDijkstra(adj []uint32) []uint32 {
+	n := DijkstraNodes
+	out := make([]uint32, n*n)
+	for src := 0; src < n; src++ {
+		dist := make([]uint32, n)
+		vis := make([]bool, n)
+		for j := range dist {
+			dist[j] = dijkstraINF
+		}
+		dist[src] = 0
+		for round := 0; round < n; round++ {
+			best := uint32(dijkstraINF)
+			bestj := 0
+			for j := 0; j < n; j++ {
+				if !vis[j] && dist[j] < best {
+					best = dist[j]
+					bestj = j
+				}
+			}
+			vis[bestj] = true
+			if best == dijkstraINF {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				w := adj[bestj*n+j]
+				if w == 0 {
+					continue
+				}
+				if nd := w + best; nd < dist[j] {
+					dist[j] = nd
+				}
+			}
+		}
+		copy(out[src*n:], dist)
+	}
+	return out
+}
+
+func buildDijkstra(seed int64) (string, []uint32, error) {
+	r := rng(seed)
+	n := DijkstraNodes
+	adj := make([]uint32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				adj[i*n+j] = uint32(r.Intn(100) + 1)
+			}
+		}
+	}
+	want := goldenDijkstra(adj)
+
+	src := fmt.Sprintf(`
+; all-pairs Dijkstra on a complete %d-node graph, repeated %d times
+	l.movhi r1,hi(adj)
+	l.ori   r1,r1,lo(adj)
+	l.movhi r2,hi(outd)
+	l.ori   r2,r2,lo(outd)
+	l.movhi r3,hi(dist)
+	l.ori   r3,r3,lo(dist)
+	l.movhi r4,hi(vis)
+	l.ori   r4,r4,lo(vis)
+	l.sys 1
+	l.addi  r6,r0,0         ; repeat counter
+rep_loop:
+	l.addi  r5,r0,0         ; source node
+src_loop:
+	; init dist = INF, vis = 0
+	l.addi  r8,r0,0
+init_loop:
+	l.slli  r12,r8,2
+	l.add   r13,r3,r12
+	l.movhi r14,0x7fff
+	l.ori   r14,r14,0xffff
+	l.sw    0(r13),r14
+	l.add   r13,r4,r12
+	l.sw    0(r13),r0
+	l.addi  r8,r8,1
+	l.sfltsi r8,%d
+	l.bf    init_loop
+	l.slli  r12,r5,2
+	l.add   r13,r3,r12
+	l.sw    0(r13),r0       ; dist[src] = 0
+	l.addi  r7,r0,0         ; round
+round_loop:
+	; scan for the unvisited minimum
+	l.movhi r10,0x7fff
+	l.ori   r10,r10,0xffff  ; best = INF
+	l.addi  r11,r0,0        ; best node
+	l.addi  r8,r0,0
+scan_loop:
+	l.slli  r12,r8,2
+	l.add   r13,r4,r12
+	l.lwz   r14,0(r13)
+	l.sfnei r14,0
+	l.bf    scan_next       ; already visited
+	l.add   r13,r3,r12
+	l.lwz   r14,0(r13)
+	l.sfltu r14,r10
+	l.bnf   scan_next
+	l.add   r10,r14,r0
+	l.add   r11,r8,r0
+scan_next:
+	l.addi  r8,r8,1
+	l.sfltsi r8,%d
+	l.bf    scan_loop
+	; mark visited
+	l.slli  r12,r11,2
+	l.add   r13,r4,r12
+	l.addi  r14,r0,1
+	l.sw    0(r13),r14
+	; unreachable remainder: skip relaxation
+	l.movhi r14,0x7fff
+	l.ori   r14,r14,0xffff
+	l.sfeq  r10,r14
+	l.bf    round_next
+	; relax all edges out of the chosen node
+	l.slli  r15,r11,5       ; bestj * 40 = (bestj<<5)+(bestj<<3)
+	l.slli  r12,r11,3
+	l.add   r15,r15,r12
+	l.add   r15,r1,r15      ; &adj[bestj][0]
+	l.addi  r8,r0,0
+relax_loop:
+	l.slli  r12,r8,2
+	l.add   r13,r15,r12
+	l.lwz   r14,0(r13)      ; w
+	l.sfeqi r14,0
+	l.bf    relax_next      ; no edge
+	l.add   r14,r14,r10     ; nd = w + best
+	l.add   r13,r3,r12
+	l.lwz   r16,0(r13)
+	l.sfltu r14,r16
+	l.bnf   relax_next
+	l.sw    0(r13),r14
+relax_next:
+	l.addi  r8,r8,1
+	l.sfltsi r8,%d
+	l.bf    relax_loop
+round_next:
+	l.addi  r7,r7,1
+	l.sfltsi r7,%d
+	l.bf    round_loop
+	; copy dist into the output row
+	l.slli  r12,r5,5        ; src * 40
+	l.slli  r13,r5,3
+	l.add   r12,r12,r13
+	l.add   r12,r2,r12
+	l.addi  r8,r0,0
+copy_loop:
+	l.slli  r13,r8,2
+	l.add   r14,r3,r13
+	l.lwz   r16,0(r14)
+	l.add   r14,r12,r13
+	l.sw    0(r14),r16
+	l.addi  r8,r8,1
+	l.sfltsi r8,%d
+	l.bf    copy_loop
+	l.addi  r5,r5,1
+	l.sfltsi r5,%d
+	l.bf    src_loop
+	l.addi  r6,r6,1
+	l.sfltsi r6,%d
+	l.bf    rep_loop
+	l.sys 2
+	l.sys 0
+.data
+outd:
+	.space %d
+dist:
+	.space %d
+vis:
+	.space %d
+adj:
+`, n, DijkstraRepeats, n, n, n, n, n, n, DijkstraRepeats,
+		4*n*n, 4*n, 4*n)
+	src += wordList(adj)
+	return src, want, nil
+}

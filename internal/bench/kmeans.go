@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/dta"
+)
+
+// K-means parameters (Table 1: 8 points, 2-D).
+const (
+	KMeansPoints  = 8
+	KMeansK       = 3
+	KMeansIters   = 10
+	KMeansRepeats = 9
+)
+
+// KMeans returns the k-means clustering benchmark: Lloyd iterations with
+// integer squared-Euclidean distances and a shift-subtract division for
+// the centroid update. The whole clustering is repeated from scratch to
+// match Table 1's kernel length. Output is the final cluster membership
+// of each point; the metric is the membership mismatch percentage.
+func KMeans() *Benchmark {
+	return &Benchmark{
+		Name:       "kmeans",
+		MetricName: "cluster membership",
+		// Coordinates are 8-bit, so distances need 16-bit products.
+		Profile:      dta.Profile{circuit.UnitMul: "u16", circuit.UnitCompare: "u16"},
+		PaperKCycles: 351,
+		OutSymbol:    "member",
+		OutWords:     KMeansPoints,
+		Metric:       MismatchPct,
+		Build:        buildKMeans,
+	}
+}
+
+// goldenKMeans mirrors the kernel bit for bit (uint32 wrap-around
+// arithmetic, strict unsigned less-than, skip update of empty clusters).
+func goldenKMeans(px, py []uint32) []uint32 {
+	cx := make([]uint32, KMeansK)
+	cy := make([]uint32, KMeansK)
+	copy(cx, px[:KMeansK])
+	copy(cy, py[:KMeansK])
+	member := make([]uint32, KMeansPoints)
+	for iter := 0; iter < KMeansIters; iter++ {
+		sumx := make([]uint32, KMeansK)
+		sumy := make([]uint32, KMeansK)
+		cnt := make([]uint32, KMeansK)
+		for i := 0; i < KMeansPoints; i++ {
+			best := uint32(0x7FFFFFFF)
+			bestc := uint32(0)
+			for c := 0; c < KMeansK; c++ {
+				dx := px[i] - cx[c]
+				dy := py[i] - cy[c]
+				dist := dx*dx + dy*dy
+				if dist < best {
+					best = dist
+					bestc = uint32(c)
+				}
+			}
+			member[i] = bestc
+			sumx[bestc] += px[i]
+			sumy[bestc] += py[i]
+			cnt[bestc]++
+		}
+		for c := 0; c < KMeansK; c++ {
+			if cnt[c] != 0 {
+				cx[c] = sumx[c] / cnt[c]
+				cy[c] = sumy[c] / cnt[c]
+			}
+		}
+	}
+	return member
+}
+
+func buildKMeans(seed int64) (string, []uint32, error) {
+	r := rng(seed)
+	px := make([]uint32, KMeansPoints)
+	py := make([]uint32, KMeansPoints)
+	for i := range px {
+		px[i] = uint32(r.Intn(256))
+		py[i] = uint32(r.Intn(256))
+	}
+	want := goldenKMeans(px, py)
+
+	src := fmt.Sprintf(`
+; k-means: %d points, k=%d, %d Lloyd iterations, repeated %d times
+	l.movhi r1,hi(px)
+	l.ori   r1,r1,lo(px)
+	l.movhi r2,hi(py)
+	l.ori   r2,r2,lo(py)
+	l.movhi r10,hi(cx)
+	l.ori   r10,r10,lo(cx)
+	l.movhi r11,hi(cy)
+	l.ori   r11,r11,lo(cy)
+	l.movhi r12,hi(sumx)
+	l.ori   r12,r12,lo(sumx)
+	l.movhi r13,hi(sumy)
+	l.ori   r13,r13,lo(sumy)
+	l.movhi r14,hi(cnt)
+	l.ori   r14,r14,lo(cnt)
+	l.movhi r15,hi(member)
+	l.ori   r15,r15,lo(member)
+	l.sys 1
+	l.addi  r16,r0,0        ; repeat counter
+repeat_loop:
+	; centroids start at the first K points
+	l.addi  r19,r0,0
+cinit_loop:
+	l.slli  r24,r19,2
+	l.add   r25,r1,r24
+	l.lwz   r26,0(r25)
+	l.add   r25,r10,r24
+	l.sw    0(r25),r26
+	l.add   r25,r2,r24
+	l.lwz   r26,0(r25)
+	l.add   r25,r11,r24
+	l.sw    0(r25),r26
+	l.addi  r19,r19,1
+	l.sfltsi r19,%d
+	l.bf    cinit_loop
+	l.addi  r17,r0,0        ; iteration counter
+iter_loop:
+	; zero sums and counts
+	l.addi  r19,r0,0
+zero_loop:
+	l.slli  r24,r19,2
+	l.add   r25,r12,r24
+	l.sw    0(r25),r0
+	l.add   r25,r13,r24
+	l.sw    0(r25),r0
+	l.add   r25,r14,r24
+	l.sw    0(r25),r0
+	l.addi  r19,r19,1
+	l.sfltsi r19,%d
+	l.bf    zero_loop
+	; assignment step
+	l.addi  r18,r0,0        ; point index
+point_loop:
+	l.slli  r24,r18,2
+	l.add   r25,r1,r24
+	l.lwz   r20,0(r25)      ; px[i]
+	l.add   r25,r2,r24
+	l.lwz   r21,0(r25)      ; py[i]
+	l.movhi r22,0x7fff
+	l.ori   r22,r22,0xffff  ; best = INT_MAX
+	l.addi  r23,r0,0        ; best cluster
+	l.addi  r19,r0,0
+clust_loop:
+	l.slli  r24,r19,2
+	l.add   r25,r10,r24
+	l.lwz   r26,0(r25)      ; cx[c]
+	l.sub   r26,r20,r26     ; dx
+	l.mul   r26,r26,r26
+	l.add   r27,r26,r0      ; dx*dx
+	l.slli  r24,r19,2
+	l.add   r25,r11,r24
+	l.lwz   r26,0(r25)      ; cy[c]
+	l.sub   r26,r21,r26     ; dy
+	l.mul   r26,r26,r26
+	l.add   r27,r27,r26     ; dist
+	l.sfltu r27,r22
+	l.bnf   no_best
+	l.add   r22,r27,r0
+	l.add   r23,r19,r0
+no_best:
+	l.addi  r19,r19,1
+	l.sfltsi r19,%d
+	l.bf    clust_loop
+	; record membership and accumulate
+	l.slli  r24,r18,2
+	l.add   r25,r15,r24
+	l.sw    0(r25),r23
+	l.slli  r24,r23,2
+	l.add   r25,r12,r24
+	l.lwz   r26,0(r25)
+	l.add   r26,r26,r20
+	l.sw    0(r25),r26
+	l.add   r25,r13,r24
+	l.lwz   r26,0(r25)
+	l.add   r26,r26,r21
+	l.sw    0(r25),r26
+	l.add   r25,r14,r24
+	l.lwz   r26,0(r25)
+	l.addi  r26,r26,1
+	l.sw    0(r25),r26
+	l.addi  r18,r18,1
+	l.sfltsi r18,%d
+	l.bf    point_loop
+	; update step
+	l.addi  r19,r0,0
+update_loop:
+	l.slli  r24,r19,2
+	l.add   r25,r14,r24
+	l.lwz   r26,0(r25)      ; count
+	l.sfeqi r26,0
+	l.bf    upd_skip
+	l.add   r25,r12,r24
+	l.lwz   r3,0(r25)
+	l.add   r4,r26,r0
+	l.jal   udiv
+	l.slli  r24,r19,2
+	l.add   r25,r10,r24
+	l.sw    0(r25),r5       ; cx[c] = sumx/count
+	l.add   r25,r13,r24
+	l.lwz   r3,0(r25)
+	l.add   r4,r26,r0
+	l.jal   udiv
+	l.add   r25,r11,r24
+	l.sw    0(r25),r5       ; cy[c] = sumy/count
+upd_skip:
+	l.addi  r19,r19,1
+	l.sfltsi r19,%d
+	l.bf    update_loop
+	l.addi  r17,r17,1
+	l.sfltsi r17,%d
+	l.bf    iter_loop
+	l.addi  r16,r16,1
+	l.sfltsi r16,%d
+	l.bf    repeat_loop
+	l.sys 2
+	l.sys 0
+
+; unsigned restoring division: r5 = r3 / r4, r6 = remainder
+; clobbers r7, r8; returns via r9
+udiv:
+	l.addi  r5,r0,0
+	l.addi  r6,r0,0
+	l.addi  r7,r0,31
+udloop:
+	l.slli  r6,r6,1
+	l.srl   r8,r3,r7
+	l.andi  r8,r8,1
+	l.or    r6,r6,r8
+	l.sfgeu r6,r4
+	l.bnf   udskip
+	l.sub   r6,r6,r4
+	l.addi  r8,r0,1
+	l.sll   r8,r8,r7
+	l.or    r5,r5,r8
+udskip:
+	l.addi  r7,r7,-1
+	l.sfltsi r7,0
+	l.bnf   udloop
+	l.jr    r9
+
+.data
+member:
+	.space %d
+cx:	.space %d
+cy:	.space %d
+sumx:	.space %d
+sumy:	.space %d
+cnt:	.space %d
+px:
+`, KMeansPoints, KMeansK, KMeansIters, KMeansRepeats,
+		KMeansK, KMeansK, KMeansK, KMeansPoints, KMeansK, KMeansIters, KMeansRepeats,
+		4*KMeansPoints, 4*KMeansK, 4*KMeansK, 4*KMeansK, 4*KMeansK, 4*KMeansK)
+	src += wordList(px)
+	src += "py:\n"
+	src += wordList(py)
+	return src, want, nil
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/dta"
+)
+
+// MedianN is the input size of the median kernel (Table 1: 129 values).
+const MedianN = 129
+
+// Median returns the paper's median benchmark: a full bubble sort of 129
+// 16-bit values (no early exit, matching the fixed cycle count of
+// Table 1), reporting the middle element. It is control-heavy: the inner
+// loop is dominated by compares and branches.
+func Median() *Benchmark {
+	return &Benchmark{
+		Name:       "median",
+		MetricName: "relative difference",
+		// Compares operate on the 16-bit data values.
+		Profile:      dta.Profile{circuit.UnitCompare: "u16"},
+		PaperKCycles: 216,
+		OutSymbol:    "out",
+		OutWords:     1,
+		Metric:       RelativeErrorPct,
+		Build:        buildMedian,
+	}
+}
+
+func buildMedian(seed int64) (string, []uint32, error) {
+	r := rng(seed)
+	vals := make([]uint32, MedianN)
+	for i := range vals {
+		vals[i] = uint32(r.Intn(32767) + 1)
+	}
+	sorted := make([]int, MedianN)
+	for i, v := range vals {
+		sorted[i] = int(v)
+	}
+	sort.Ints(sorted)
+	want := []uint32{uint32(sorted[MedianN/2])}
+
+	src := fmt.Sprintf(`
+; median of %d values via full bubble sort (no early exit)
+	l.movhi r1,hi(arr)
+	l.ori   r1,r1,lo(arr)
+	l.sys 1                 ; open FI window: kernel begins
+	l.addi  r2,r0,0         ; i = 0 (outer pass)
+outer:
+	l.sfgtsi r2,%d          ; i > N-2 ?
+	l.bf    done
+	l.add   r4,r1,r0        ; p = &arr[0]
+	l.addi  r3,r0,0         ; j = 0
+inner:
+	l.lwz   r5,0(r4)
+	l.lwz   r6,4(r4)
+	l.sfgts r5,r6
+	l.bnf   noswap
+	l.sw    0(r4),r6
+	l.sw    4(r4),r5
+noswap:
+	l.addi  r4,r4,4
+	l.addi  r3,r3,1
+	l.sfltsi r3,%d          ; j < N-1 ?
+	l.bf    inner
+	l.addi  r2,r2,1
+	l.j     outer
+done:
+	l.sys 2                 ; close FI window
+	l.lwz   r7,%d(r1)       ; median = arr[N/2]
+	l.movhi r8,hi(out)
+	l.ori   r8,r8,lo(out)
+	l.sw    0(r8),r7
+	l.sys 0
+.data
+out:
+	.word 0
+arr:
+`, MedianN, MedianN-2, MedianN-1, 4*(MedianN/2))
+	src += wordList(vals)
+	return src, want, nil
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/dta"
+)
+
+// MicroN is the operand-pair count of the Fig. 4 instruction kernels.
+const MicroN = 256
+
+// MicroAdd16 returns the Fig. 4 kernel for l.add with operands covering a
+// 16-bit value range (16-bit results).
+func MicroAdd16() *Benchmark {
+	return micro("micro_add_16bit", "l.add", dta.Profile{circuit.UnitAdd: "u16"}, 16)
+}
+
+// MicroAdd32 returns the Fig. 4 kernel for l.add with 32-bit operands.
+// (Operands are drawn below 2^31 so the sum does not wrap; the MSE axis
+// stays interpretable exactly as in the paper.)
+func MicroAdd32() *Benchmark {
+	return micro("micro_add_32bit", "l.add", dta.Profile{circuit.UnitAdd: "u32"}, 31)
+}
+
+// MicroMul16 returns the Fig. 4 kernel for l.mul with operands covering a
+// 16-bit value range (32-bit results).
+func MicroMul16() *Benchmark {
+	return micro("micro_mul_16bit", "l.mul", dta.Profile{circuit.UnitMul: "u16"}, 16)
+}
+
+func micro(name, op string, profile dta.Profile, bits int) *Benchmark {
+	return &Benchmark{
+		Name:           name,
+		MetricName:     "mean squared error (MSE)",
+		Profile:        profile,
+		PerTrialInputs: true,
+		OutSymbol:      "carr",
+		OutWords:       MicroN,
+		Metric:         MSEMetric,
+		Build: func(seed int64) (string, []uint32, error) {
+			return buildMicro(op, bits, seed)
+		},
+	}
+}
+
+func buildMicro(op string, bits int, seed int64) (string, []uint32, error) {
+	r := rng(seed)
+	var mask uint32 = 0xFFFFFFFF
+	if bits < 32 {
+		mask = 1<<uint(bits) - 1
+	}
+	a := make([]uint32, MicroN)
+	b := make([]uint32, MicroN)
+	want := make([]uint32, MicroN)
+	for i := range a {
+		a[i] = r.Uint32() & mask
+		if bits == 16 {
+			// 16-bit operands are drawn across the full 16-bit range.
+			a[i] = r.Uint32() & 0xFFFF
+			b[i] = r.Uint32() & 0xFFFF
+		} else {
+			b[i] = r.Uint32() & mask
+		}
+		switch op {
+		case "l.add":
+			want[i] = a[i] + b[i]
+		case "l.mul":
+			want[i] = uint32(int32(a[i]) * int32(b[i]))
+		default:
+			return "", nil, fmt.Errorf("bench: unsupported micro op %q", op)
+		}
+	}
+
+	src := fmt.Sprintf(`
+; instruction microkernel: %s over %d uniform random operand pairs
+	l.movhi r1,hi(aarr)
+	l.ori   r1,r1,lo(aarr)
+	l.movhi r2,hi(barr)
+	l.ori   r2,r2,lo(barr)
+	l.movhi r3,hi(carr)
+	l.ori   r3,r3,lo(carr)
+	l.sys 1
+	l.addi  r4,r0,0
+loop:
+	l.slli  r5,r4,2
+	l.add   r6,r1,r5
+	l.lwz   r7,0(r6)
+	l.add   r6,r2,r5
+	l.lwz   r8,0(r6)
+	%s  r10,r7,r8
+	l.add   r6,r3,r5
+	l.sw    0(r6),r10
+	l.addi  r4,r4,1
+	l.sfltsi r4,%d
+	l.bf    loop
+	l.sys 2
+	l.sys 0
+.data
+carr:
+	.space %d
+aarr:
+`, op, MicroN, op, MicroN, 4*MicroN)
+	src += wordList(a)
+	src += "barr:\n"
+	src += wordList(b)
+	return src, want, nil
+}

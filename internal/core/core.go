@@ -1,0 +1,126 @@
+// Package core assembles the paper's simulation stack (Fig. 3): the
+// generated, calibrated ALU netlists, the DTA characterizer, the
+// Vdd-delay and noise models, the power model, and a factory for the
+// fault-injection models A/B/B+/C bound to an operating point
+// (frequency, supply voltage, noise sigma).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/dta"
+	"repro/internal/fi"
+	"repro/internal/power"
+	"repro/internal/timing"
+)
+
+// Config carries every tunable of the reproduction, defaulting to the
+// paper's case study.
+type Config struct {
+	Circuit circuit.Config
+	DTA     dta.Config
+	Vdd     timing.VddDelay
+	Power   power.Model
+	CPU     cpu.Config
+	// NonALUSafeMHz is the frequency below which all non-ALU paths are
+	// guaranteed safe at the reference voltage (the constraint strategy
+	// of [14]; 1.15 GHz at 0.7 V in the paper).
+	NonALUSafeMHz float64
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Circuit:       circuit.DefaultConfig(),
+		DTA:           dta.DefaultConfig(),
+		Vdd:           timing.DefaultVddDelay(),
+		Power:         power.Default(),
+		CPU:           cpu.DefaultConfig(),
+		NonALUSafeMHz: 1150,
+	}
+}
+
+// System is one instantiated simulation stack. It is immutable after
+// construction and safe for concurrent use (characterizations cache
+// internally).
+type System struct {
+	Cfg  Config
+	ALU  *circuit.ALU
+	Char *dta.Characterizer
+}
+
+// New builds and calibrates a system.
+func New(cfg Config) *System {
+	alu := circuit.New(cfg.Circuit)
+	return &System{
+		Cfg:  cfg,
+		ALU:  alu,
+		Char: dta.NewCharacterizer(alu, cfg.Vdd, cfg.DTA),
+	}
+}
+
+// STALimitMHz returns the static timing limit at supply v (707 MHz at
+// 0.7 V by calibration, scaled by the Vdd-delay factor elsewhere).
+func (s *System) STALimitMHz(v float64) float64 {
+	return s.ALU.STALimitMHz() / s.Cfg.Vdd.Factor(v)
+}
+
+// NonALUSafeMHz returns the non-ALU safe frequency at supply v. Above
+// it, instructions outside the ALU data path are no longer protected and
+// the simulation refuses the operating point rather than report
+// meaningless results.
+func (s *System) NonALUSafeMHz(v float64) float64 {
+	return s.Cfg.NonALUSafeMHz / s.Cfg.Vdd.Factor(v)
+}
+
+// ModelSpec selects and parameterizes a fault-injection model.
+type ModelSpec struct {
+	Kind    string // "none", "A", "B", "B+", "C"
+	Vdd     float64
+	FreqMHz float64
+	Sigma   float64 // supply-noise sigma in volts
+	// ProbA is model A's fixed per-endpoint flip probability.
+	ProbA float64
+	// Profile selects operand-width-matched characterizations (model C).
+	Profile dta.Profile
+	// Sem is the fault semantics at violated endpoints.
+	Sem fi.Semantics
+	// Sampling selects model C's endpoint sampling strategy.
+	Sampling fi.Sampling
+}
+
+// Model instantiates the spec against this system. Operating points
+// beyond the non-ALU safe limit are rejected for the timing-based models.
+func (s *System) Model(spec ModelSpec) (fi.Model, error) {
+	switch spec.Kind {
+	case "", "none":
+		return fi.NullModel{}, nil
+	case "A":
+		return &fi.ModelA{Prob: spec.ProbA, Sem: spec.Sem}, nil
+	}
+	if spec.Vdd <= s.Cfg.Vdd.Vt {
+		return nil, fmt.Errorf("core: supply %v V at or below threshold", spec.Vdd)
+	}
+	if spec.FreqMHz > s.NonALUSafeMHz(spec.Vdd) {
+		return nil, fmt.Errorf("core: %v MHz exceeds the non-ALU safe limit %.0f MHz at %v V",
+			spec.FreqMHz, s.NonALUSafeMHz(spec.Vdd), spec.Vdd)
+	}
+	switch spec.Kind {
+	case "B":
+		return fi.NewModelB(s.ALU, s.Cfg.Vdd, spec.Vdd, spec.FreqMHz, 0, spec.Sem), nil
+	case "B+":
+		return fi.NewModelB(s.ALU, s.Cfg.Vdd, spec.Vdd, spec.FreqMHz, spec.Sigma, spec.Sem), nil
+	case "C":
+		return fi.NewModelC(s.Char, fi.ModelCConfig{
+			Vdd:      spec.Vdd,
+			FreqMHz:  spec.FreqMHz,
+			Sigma:    spec.Sigma,
+			Profile:  spec.Profile,
+			Sem:      spec.Sem,
+			Sampling: spec.Sampling,
+		})
+	}
+	return nil, fmt.Errorf("core: unknown model kind %q", spec.Kind)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/dta"
+	"repro/internal/timing"
+)
+
+var (
+	once sync.Once
+	sys  *System
+)
+
+func system() *System {
+	once.Do(func() {
+		cfg := DefaultConfig()
+		cfg.DTA = dta.Config{Cycles: 512, Seed: 5}
+		sys = New(cfg)
+	})
+	return sys
+}
+
+func TestSTALimitAnchored(t *testing.T) {
+	s := system()
+	if got := s.STALimitMHz(0.7); math.Abs(got-707) > 0.1 {
+		t.Errorf("STA limit @0.7V = %v, want 707", got)
+	}
+	// Higher voltage raises the limit; the 0.8 V limit lands near the
+	// paper's Fig. 5(d-f) range (about 950 MHz).
+	hi := s.STALimitMHz(0.8)
+	if hi < 900 || hi > 1000 {
+		t.Errorf("STA limit @0.8V = %v, want about 955", hi)
+	}
+	if s.STALimitMHz(0.6) >= 707 {
+		t.Errorf("lower voltage did not lower the limit")
+	}
+}
+
+func TestNonALUSafeLimit(t *testing.T) {
+	s := system()
+	if got := s.NonALUSafeMHz(0.7); math.Abs(got-1150) > 0.1 {
+		t.Errorf("non-ALU limit @0.7V = %v, want 1150", got)
+	}
+	if _, err := s.Model(ModelSpec{Kind: "C", Vdd: 0.7, FreqMHz: 1200}); err == nil {
+		t.Errorf("model constructed beyond the non-ALU safe limit")
+	}
+	if _, err := s.Model(ModelSpec{Kind: "B", Vdd: 0.7, FreqMHz: 1100}); err != nil {
+		t.Errorf("model rejected within the safe limit: %v", err)
+	}
+}
+
+func TestModelFactory(t *testing.T) {
+	s := system()
+	cases := map[string]string{
+		"none": "none", "A": "A", "B": "B", "B+": "B+", "C": "C",
+	}
+	for kind, want := range cases {
+		m, err := s.Model(ModelSpec{Kind: kind, Vdd: 0.7, FreqMHz: 800, Sigma: 0.01})
+		if err != nil {
+			t.Fatalf("model %q: %v", kind, err)
+		}
+		if m.Name() != want {
+			t.Errorf("model %q named %q", kind, m.Name())
+		}
+	}
+	if _, err := s.Model(ModelSpec{Kind: "Z", Vdd: 0.7, FreqMHz: 800}); err == nil {
+		t.Errorf("unknown kind accepted")
+	}
+	if _, err := s.Model(ModelSpec{Kind: "C", Vdd: 0.2, FreqMHz: 800}); err == nil {
+		t.Errorf("sub-threshold supply accepted")
+	}
+}
+
+func TestDefaultsAreThePaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Circuit.STAFreqMHz != 707 {
+		t.Errorf("STA constraint %v", cfg.Circuit.STAFreqMHz)
+	}
+	if cfg.NonALUSafeMHz != 1150 {
+		t.Errorf("non-ALU limit %v", cfg.NonALUSafeMHz)
+	}
+	if cfg.DTA.Cycles != 8192 {
+		t.Errorf("DTA kernel %v cycles, paper uses 8k", cfg.DTA.Cycles)
+	}
+	if cfg.Vdd != timing.DefaultVddDelay() {
+		t.Errorf("vdd model not the calibrated default")
+	}
+}

@@ -1,0 +1,322 @@
+// Package dta implements dynamic timing analysis: timed gate-level
+// simulation of the ALU unit netlists over randomized characterization
+// kernels, recording the per-cycle arrival times at every endpoint
+// conditioned on the executing instruction, exactly as the paper extracts
+// its statistics from the post place & route netlist (Sec. 3.4; the
+// methodology of [14]).
+//
+// A characterization is keyed by (ALU unit, operand generator, supply
+// voltage). Operand generators capture the operand profile of an
+// instruction: l.addi sees sign-extended 16-bit immediates, shift amounts
+// are 5 bits, and data-width-constrained workloads (the paper's 8/16-bit
+// kernels in Figs. 4 and 6) are characterized with matching operand
+// ranges — this is where the paper's data-width effects come from.
+package dta
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// OperandGen produces one random operand pair for a characterization
+// cycle.
+type OperandGen func(rng *rand.Rand) (a, b uint32)
+
+// Named operand generators. Names are part of characterization cache keys
+// and of benchmark operand profiles.
+var gens = map[string]OperandGen{
+	"u32": func(r *rand.Rand) (uint32, uint32) { return r.Uint32(), r.Uint32() },
+	"u16": func(r *rand.Rand) (uint32, uint32) { return r.Uint32() & 0xFFFF, r.Uint32() & 0xFFFF },
+	"u8":  func(r *rand.Rand) (uint32, uint32) { return r.Uint32() & 0xFF, r.Uint32() & 0xFF },
+	// a full-width, b a sign-extended 16-bit immediate (l.addi, l.muli,
+	// l.xori and the compare-immediate forms).
+	"imm16": func(r *rand.Rand) (uint32, uint32) {
+		return r.Uint32(), uint32(int32(int16(uint16(r.Uint32()))))
+	},
+	// a full-width, b a zero-extended 16-bit immediate (l.andi, l.ori).
+	"zimm16": func(r *rand.Rand) (uint32, uint32) { return r.Uint32(), r.Uint32() & 0xFFFF },
+	// a full-width, b a 5-bit shift amount.
+	"amt5": func(r *rand.Rand) (uint32, uint32) { return r.Uint32(), r.Uint32() & 31 },
+	// 16-bit a and b with small signed values, the profile of
+	// index/counter arithmetic in control kernels.
+	"s16": func(r *rand.Rand) (uint32, uint32) {
+		return uint32(int32(int16(uint16(r.Uint32())))), uint32(int32(int16(uint16(r.Uint32()))))
+	},
+}
+
+// GenNames returns the registered generator names (for CLIs and docs).
+func GenNames() []string {
+	out := make([]string, 0, len(gens))
+	for n := range gens {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Gen returns a registered generator.
+func Gen(name string) (OperandGen, error) {
+	g, ok := gens[name]
+	if !ok {
+		return nil, fmt.Errorf("dta: unknown operand generator %q", name)
+	}
+	return g, nil
+}
+
+// Profile overrides the operand generator per ALU unit; nil entries (or a
+// nil map) fall back to the per-instruction defaults. Benchmarks with
+// constrained data widths carry a Profile so that their fault statistics
+// are characterized on matching operands.
+type Profile map[circuit.UnitKind]string
+
+// DefaultGen returns the default operand generator name for an ALU op,
+// reflecting its architectural operand sources.
+func DefaultGen(op isa.Op) string {
+	switch op {
+	case isa.OpAddi, isa.OpMuli, isa.OpXori,
+		isa.OpSfeqi, isa.OpSfnei, isa.OpSfgtui, isa.OpSfltui,
+		isa.OpSfgtsi, isa.OpSfltsi:
+		return "imm16"
+	case isa.OpAndi, isa.OpOri:
+		return "zimm16"
+	case isa.OpSll, isa.OpSrl, isa.OpSra, isa.OpSlli, isa.OpSrli, isa.OpSrai:
+		return "amt5"
+	default:
+		return "u32"
+	}
+}
+
+// GenFor resolves the operand generator name for op under a profile.
+func GenFor(op isa.Op, p Profile) string {
+	if p != nil {
+		if g, ok := p[circuit.UnitOf(op)]; ok && g != "" {
+			return g
+		}
+	}
+	return DefaultGen(op)
+}
+
+// Key identifies one characterization.
+type Key struct {
+	Unit circuit.UnitKind
+	Gen  string
+}
+
+// KeyFor returns the characterization key of an ALU op under a profile.
+func KeyFor(op isa.Op, p Profile) Key {
+	return Key{Unit: circuit.UnitOf(op), Gen: GenFor(op, p)}
+}
+
+// Characterization holds the DTA result for one key at one voltage: the
+// raw arrival matrix and the per-endpoint CDFs. Endpoint indices 0..31
+// are the result bits; circuit.FlagEndpoint is the flag (compare unit
+// only).
+type Characterization struct {
+	Key     Key
+	Voltage float64
+	Cycles  int
+	// Arrivals[e][c] is the arrival time (ps) of endpoint e in cycle c;
+	// 0 means the endpoint did not toggle.
+	Arrivals [][]float64
+	// MaxPerCycle[c] is the largest arrival over all endpoints in cycle
+	// c, used by the joint (bootstrap) sampler.
+	MaxPerCycle []float64
+	// CDFs[e] is the empirical violation CDF of endpoint e (includes
+	// the voltage-scaled setup time).
+	CDFs []*timing.CDF
+	// SetupPs is the voltage-scaled flip-flop setup time.
+	SetupPs float64
+	// MaxPs is the largest arrival observed anywhere.
+	MaxPs float64
+}
+
+// NumEndpoints returns the endpoint count (32, or 33 with flag).
+func (c *Characterization) NumEndpoints() int { return len(c.Arrivals) }
+
+// OnsetMHz returns the highest frequency with zero violation probability
+// across all endpoints at this voltage (no noise).
+func (c *Characterization) OnsetMHz() float64 {
+	if c.MaxPs <= 0 {
+		return math.Inf(1)
+	}
+	return 1e6 / (c.MaxPs + c.SetupPs)
+}
+
+// Config parameterizes a Characterizer.
+type Config struct {
+	// Cycles is the characterization kernel length per instruction; the
+	// paper uses 8 kCycles.
+	Cycles int
+	// Seed drives operand randomization.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's characterization parameters.
+func DefaultConfig() Config { return Config{Cycles: 8192, Seed: 1} }
+
+// Characterizer runs and caches DTA characterizations for one ALU.
+type Characterizer struct {
+	ALU   *circuit.ALU
+	Model timing.VddDelay
+	Cfg   Config
+
+	mu    sync.Mutex
+	cache map[cacheKey]*entry
+}
+
+type cacheKey struct {
+	key Key
+	mV  int // voltage in millivolts
+}
+
+type entry struct {
+	once sync.Once
+	ch   *Characterization
+}
+
+// NewCharacterizer returns a characterizer over the given ALU.
+func NewCharacterizer(alu *circuit.ALU, model timing.VddDelay, cfg Config) *Characterizer {
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = DefaultConfig().Cycles
+	}
+	return &Characterizer{
+		ALU:   alu,
+		Model: model,
+		Cfg:   cfg,
+		cache: map[cacheKey]*entry{},
+	}
+}
+
+// At returns the characterization for a key at the given supply voltage,
+// computing it on first use. It is safe for concurrent use and distinct
+// keys characterize in parallel.
+func (c *Characterizer) At(key Key, voltage float64) (*Characterization, error) {
+	if _, err := Gen(key.Gen); err != nil {
+		return nil, err
+	}
+	ck := cacheKey{key: key, mV: int(math.Round(voltage * 1000))}
+	c.mu.Lock()
+	e, ok := c.cache[ck]
+	if !ok {
+		e = &entry{}
+		c.cache[ck] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.ch = c.run(key, voltage)
+	})
+	return e.ch, nil
+}
+
+// ForOp resolves and characterizes the op's key under a profile.
+func (c *Characterizer) ForOp(op isa.Op, p Profile, voltage float64) (*Characterization, error) {
+	return c.At(KeyFor(op, p), voltage)
+}
+
+// run performs one characterization.
+func (c *Characterizer) run(key Key, voltage float64) *Characterization {
+	gen := gens[key.Gen]
+	u := c.ALU.Units[key.Unit]
+	factor := c.Model.Factor(voltage)
+	delays := u.Netlist.DelaysAt(factor)
+	sim := gates.NewSim(u.Netlist, delays)
+	setup := c.ALU.Config.SetupPs * factor
+
+	nEP := circuit.Width
+	if u.HasFlag() {
+		nEP = circuit.NumEndpoints
+	}
+	ch := &Characterization{
+		Key:         key,
+		Voltage:     voltage,
+		Cycles:      c.Cfg.Cycles,
+		Arrivals:    make([][]float64, nEP),
+		MaxPerCycle: make([]float64, c.Cfg.Cycles),
+		SetupPs:     setup,
+	}
+	for e := range ch.Arrivals {
+		ch.Arrivals[e] = make([]float64, c.Cfg.Cycles)
+	}
+
+	// Seed depends on the key and voltage so characterizations are
+	// independent but reproducible.
+	seed := c.Cfg.Seed
+	seed = stats.SubSeed(seed, int(key.Unit)*1000+ck32(key.Gen))
+	seed = stats.SubSeed(seed, int(math.Round(voltage*1000)))
+	rng := stats.NewRand(seed)
+
+	in := circuit.PackInputs(nil, 0, 0)
+	a0, b0 := gen(rng)
+	sim.Settle(circuit.PackInputs(in, a0, b0))
+	for cyc := 0; cyc < c.Cfg.Cycles; cyc++ {
+		a, b := gen(rng)
+		sim.Cycle(circuit.PackInputs(in, a, b))
+		worst := 0.0
+		for e := 0; e < circuit.Width; e++ {
+			arr := sim.Arrival(u.Endpoint[e])
+			ch.Arrivals[e][cyc] = arr
+			if arr > worst {
+				worst = arr
+			}
+		}
+		if u.HasFlag() {
+			arr := sim.Arrival(u.Flag)
+			ch.Arrivals[circuit.FlagEndpoint][cyc] = arr
+			if arr > worst {
+				worst = arr
+			}
+		}
+		ch.MaxPerCycle[cyc] = worst
+		if worst > ch.MaxPs {
+			ch.MaxPs = worst
+		}
+	}
+	ch.CDFs = make([]*timing.CDF, nEP)
+	for e := range ch.CDFs {
+		ch.CDFs[e] = timing.NewCDF(ch.Arrivals[e], setup)
+	}
+	return ch
+}
+
+// ck32 hashes a generator name into a small int for seed derivation.
+func ck32(s string) int {
+	h := 0
+	for _, r := range s {
+		h = h*131 + int(r)
+	}
+	return h & 0xFFFF
+}
+
+// Prewarm characterizes every (op, profile) key an ALU workload can hit
+// at the given voltage, in parallel. Calling it up front keeps the
+// Monte-Carlo hot path free of characterization stalls.
+func (c *Characterizer) Prewarm(profile Profile, voltage float64) error {
+	keys := map[Key]bool{}
+	for _, op := range isa.AllOps() {
+		if !isa.IsALU(op) {
+			continue
+		}
+		keys[KeyFor(op, profile)] = true
+	}
+	errc := make(chan error, len(keys))
+	var wg sync.WaitGroup
+	for k := range keys {
+		wg.Add(1)
+		go func(k Key) {
+			defer wg.Done()
+			if _, err := c.At(k, voltage); err != nil {
+				errc <- err
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errc)
+	return <-errc
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteSeriesCSV renders labelled sweep series as tidy CSV (one row per
+// (series, frequency) pair) for external plotting of the figures.
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	cw := csv.NewWriter(w)
+	header := []string{"series", "freq_mhz", "finished_pct", "correct_pct",
+		"fi_per_kcycle", "output_err", "trials"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Label,
+				fmtF(p.FreqMHz),
+				fmtF(p.FinishedPct),
+				fmtF(p.CorrectPct),
+				fmtF(p.FIRate),
+				fmtF(p.OutputErr),
+				strconv.Itoa(p.Trials),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig7CSV renders the error-vs-power frontier as CSV.
+func WriteFig7CSV(w io.Writer, curves map[string][]Fig7Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "vdd_v", "normalized_power",
+		"avg_rel_err_pct", "finished_pct"}); err != nil {
+		return err
+	}
+	for label, pts := range curves {
+		for _, p := range pts {
+			rec := []string{label, fmtF(p.Vdd), fmtF(p.NormalizedPower),
+				fmtF(p.AvgRelErrPct), fmtF(p.FinishedPct)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCDFCSV renders Fig. 2 CDF curves (from Fig2) as CSV with one row
+// per frequency and one column per curve.
+func WriteCDFCSV(w io.Writer, curves map[string][]float64) error {
+	freqs, ok := curves["freqMHz"]
+	if !ok {
+		return fmt.Errorf("experiments: curves missing freqMHz axis")
+	}
+	var names []string
+	for name := range curves {
+		if name != "freqMHz" {
+			names = append(names, name)
+		}
+	}
+	sortStrings(names)
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"freq_mhz"}, names...)); err != nil {
+		return err
+	}
+	for i := range freqs {
+		rec := make([]string, 0, len(names)+1)
+		rec = append(rec, fmtF(freqs[i]))
+		for _, n := range names {
+			rec = append(rec, fmtF(curves[n][i]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

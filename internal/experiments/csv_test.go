@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/mc"
+)
+
+func TestWriteSeriesCSV(t *testing.T) {
+	series := []Series{
+		{Label: "a", Points: []mc.Point{
+			{FreqMHz: 700, FinishedPct: 100, CorrectPct: 100, Trials: 10},
+			{FreqMHz: 800, FinishedPct: 50, CorrectPct: 25, FIRate: 1.5, OutputErr: 12.5, Trials: 10},
+		}},
+		{Label: "b", Points: []mc.Point{{FreqMHz: 900, Trials: 5}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("rows = %d, want header + 3", len(recs))
+	}
+	if recs[0][0] != "series" || recs[2][0] != "a" || recs[3][0] != "b" {
+		t.Errorf("unexpected layout: %v", recs)
+	}
+	if recs[2][4] != "1.5" {
+		t.Errorf("FI rate cell = %q", recs[2][4])
+	}
+}
+
+func TestWriteFig7CSV(t *testing.T) {
+	curves := map[string][]Fig7Point{
+		"sigma=0mV": {{Vdd: 0.7, NormalizedPower: 1, AvgRelErrPct: 0, FinishedPct: 100}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig7CSV(&buf, curves); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sigma=0mV") || !strings.Contains(out, "normalized_power") {
+		t.Errorf("fig7 csv missing content:\n%s", out)
+	}
+}
+
+func TestWriteCDFCSV(t *testing.T) {
+	curves := map[string][]float64{
+		"freqMHz":       {700, 800},
+		"mul.bit24@0.7": {0, 0.5},
+		"add.bit3@0.7":  {0, 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteCDFCSV(&buf, curves); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+	// Columns sorted: add before mul.
+	if recs[0][1] != "add.bit3@0.7" || recs[0][2] != "mul.bit24@0.7" {
+		t.Errorf("column order: %v", recs[0])
+	}
+	if recs[2][2] != "0.5" {
+		t.Errorf("value cell = %q", recs[2][2])
+	}
+	// Missing axis errors.
+	if err := WriteCDFCSV(&buf, map[string][]float64{"x": {1}}); err == nil {
+		t.Errorf("missing freqMHz axis accepted")
+	}
+}

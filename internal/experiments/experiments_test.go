@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dta"
+	"repro/internal/mc"
+)
+
+var (
+	once sync.Once
+	sys  *core.System
+)
+
+// The experiment tests run every figure's code path at a drastically
+// reduced scale; full-fidelity numbers come from cmd/paperrepro.
+func options(buf *bytes.Buffer) Options {
+	once.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.DTA = dta.Config{Cycles: 1024, Seed: 5}
+		sys = core.New(cfg)
+	})
+	return Options{System: sys, Out: buf, Scale: 0.06, Seed: 1}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := Table1(options(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("table1 rows = %d", len(pts))
+	}
+	out := buf.String()
+	for _, name := range []string{"median", "mat_mult_8bit", "kmeans", "dijkstra"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("table1 missing %s", name)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(options(&buf))
+	for _, s := range []string{"fixed probability", "STA", "DTA", "instr-aware"} {
+		if !strings.Contains(buf.String(), s) {
+			t.Errorf("table2 missing %q", s)
+		}
+	}
+}
+
+func TestFig1HardThresholds(t *testing.T) {
+	var buf bytes.Buffer
+	series, err := Fig1(options(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("fig1 series = %d", len(series))
+	}
+	// The B+ cliffs sit near the paper's 661 and 588 MHz anchors.
+	out := buf.String()
+	if !strings.Contains(out, "first FI at 707") {
+		t.Errorf("model B first FI not at the STA limit:\n%s", out)
+	}
+	found := false
+	for _, anchor := range []string{"659", "660", "661", "662", "663"} {
+		if strings.Contains(out, "first FI at "+anchor) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("sigma=10mV cliff not near 661 MHz:\n%s", out)
+	}
+	// Above each cliff the static models collapse: the last point of
+	// each series has (nearly) no correct runs.
+	for _, s := range series {
+		last := s.Points[len(s.Points)-1]
+		if last.CorrectPct > 25 {
+			t.Errorf("%s: correct %v%% at %v MHz, expected a hard cliff",
+				s.Label, last.CorrectPct, last.FreqMHz)
+		}
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	var buf bytes.Buffer
+	curves, err := Fig2(options(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono := func(name string) {
+		prev := -1.0
+		for _, p := range curves[name] {
+			if p < prev-1e-12 {
+				t.Errorf("%s not monotone", name)
+				return
+			}
+			prev = p
+		}
+	}
+	for name := range curves {
+		if name != "freqMHz" {
+			mono(name)
+		}
+	}
+	// Higher voltage shifts the CDF right: at every frequency the 0.8 V
+	// probability is at most the 0.7 V one.
+	for i := range curves["freqMHz"] {
+		if curves["mul.bit24@0.8V"][i] > curves["mul.bit24@0.7V"][i]+1e-12 {
+			t.Errorf("0.8V CDF above 0.7V CDF at %v MHz", curves["freqMHz"][i])
+		}
+	}
+}
+
+func TestFig4Ordering(t *testing.T) {
+	var buf bytes.Buffer
+	series, err := Fig4(options(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := func(s Series) float64 {
+		for _, p := range s.Points {
+			if p.OutputErr > 0 {
+				return p.FreqMHz
+			}
+		}
+		return 1e9
+	}
+	mul, add32, add16 := first(series[0]), first(series[1]), first(series[2])
+	if !(mul <= add32 && add32 <= add16) {
+		t.Errorf("first-failure ordering wrong: mul %v, add32 %v, add16 %v (paper: 685 < 746 < 877)",
+			mul, add32, add16)
+	}
+}
+
+func TestFig7Frontier(t *testing.T) {
+	var buf bytes.Buffer
+	o := options(&buf)
+	o.Scale = 0.04
+	curves, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := curves["sigma=0mV"]
+	if len(s0) < 3 {
+		t.Fatalf("fig7 sigma=0 has %d points", len(s0))
+	}
+	// The first point is nominal voltage: full power, no error.
+	if s0[0].Vdd != 0.700 || s0[0].NormalizedPower < 0.999 {
+		t.Errorf("fig7 does not start at the nominal point: %+v", s0[0])
+	}
+	if s0[0].AvgRelErrPct != 0 {
+		t.Errorf("error at nominal voltage: %v", s0[0].AvgRelErrPct)
+	}
+	// Power decreases along the voltage-scaling direction.
+	for i := 1; i < len(s0); i++ {
+		if s0[i].NormalizedPower >= s0[i-1].NormalizedPower {
+			t.Errorf("power not decreasing at %v V", s0[i].Vdd)
+		}
+	}
+}
+
+func TestPoFFHelper(t *testing.T) {
+	pts := []mc.Point{
+		{FreqMHz: 700, CorrectPct: 100},
+		{FreqMHz: 720, CorrectPct: 100},
+		{FreqMHz: 740, CorrectPct: 95},
+	}
+	f, ok := mc.PoFF(pts)
+	if !ok || f != 740 {
+		t.Errorf("PoFF = %v, %v", f, ok)
+	}
+}

@@ -1,0 +1,520 @@
+// Package fi implements the paper's four timing-error injection models
+// behind a single interface (Table 2 of the paper):
+//
+//	model A  — fixed-probability random bit flips (no timing data)
+//	model B  — deterministic per-endpoint STA period violation
+//	model B+ — model B with supply-voltage noise modulating path delays
+//	model C  — the proposed statistical model: per-instruction,
+//	           per-endpoint violation probabilities from DTA CDFs,
+//	           rescaled every cycle by the sampled supply noise
+//
+// A Model is immutable and shareable; NewTrial binds it to a
+// trial-private RNG, producing an injector compatible with the
+// cpu.Injector interface (matched structurally, so the packages stay
+// decoupled).
+package fi
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/dta"
+	"repro/internal/isa"
+	"repro/internal/timing"
+)
+
+// Semantics selects what a violated endpoint flip-flop captures.
+type Semantics uint8
+
+// Fault semantics. The paper flips register bits (FlipBit); StaleCapture
+// keeps the previously latched value at violated endpoints, the other
+// physically plausible outcome of a setup violation, and is exercised by
+// the ablation benches.
+const (
+	FlipBit Semantics = iota
+	StaleCapture
+)
+
+// String names the semantics.
+func (s Semantics) String() string {
+	if s == StaleCapture {
+		return "stale-capture"
+	}
+	return "flip-bit"
+}
+
+// Sampling selects how model C draws violated endpoint sets.
+type Sampling uint8
+
+// Sampling modes. Independent evaluates each endpoint against its own
+// CDF, the paper-literal reading of Sec. 3.4. Joint bootstraps whole
+// characterization cycles, preserving the correlation between endpoints
+// that share path segments.
+const (
+	Independent Sampling = iota
+	Joint
+)
+
+// String names the sampling mode.
+func (s Sampling) String() string {
+	if s == Joint {
+		return "joint"
+	}
+	return "independent"
+}
+
+// Injector mirrors cpu.Injector; see that type for the contract.
+type Injector interface {
+	Inject(op isa.Op, result, prevResult uint32, flag, prevFlag bool) (uint32, bool, int)
+}
+
+// Model is an immutable injection model bound to one operating point.
+type Model interface {
+	// Name identifies the model in reports ("A", "B", "B+", "C").
+	Name() string
+	// NewTrial returns a fresh injector drawing randomness from rng.
+	NewTrial(rng *rand.Rand) Injector
+}
+
+// apply realizes the configured fault semantics for a set of violated
+// endpoints. The returned count is the number of endpoint violations
+// (the paper's "FIs"), independent of whether the captured value
+// happened to coincide with the correct one.
+//
+// Result endpoints follow the configured semantics (the paper flips
+// register bits). The flag endpoint — our extension that makes compares
+// architecturally vulnerable — is treated as a metastable capture under
+// FlipBit semantics: the flop resolves to a uniformly random value.
+// Deterministic inversion would make heavily over-scaled compares behave
+// like correct compares with inverted conditions, letting counted loops
+// terminate cleanly and programs "finish" again far beyond total failure,
+// which is neither physical nor what the paper observes.
+func apply(sem Semantics, rng *rand.Rand, viol uint32, flagViol bool, result, prev uint32, flag, prevFlag bool) (uint32, bool, int) {
+	n := bits.OnesCount32(viol)
+	if flagViol {
+		n++
+	}
+	if n == 0 {
+		return result, flag, 0
+	}
+	out, outFlag := result, flag
+	switch sem {
+	case FlipBit:
+		out = result ^ viol
+		if flagViol {
+			outFlag = rng.Float64() < 0.5
+		}
+	case StaleCapture:
+		out = result&^viol | prev&viol
+		if flagViol {
+			outFlag = prevFlag
+		}
+	}
+	return out, outFlag, n
+}
+
+// noiseScale precomputes the per-cycle delay modulation factor
+// m = Factor(V+dv)/Factor(V) over the clipped noise range, so the hot
+// path replaces a math.Pow with a table interpolation.
+type noiseScale struct {
+	sigma float64
+	clip  float64
+	table []float64 // m over dv in [-clip*sigma, +clip*sigma]
+}
+
+func newNoiseScale(model timing.VddDelay, v float64, noise timing.Noise) *noiseScale {
+	ns := &noiseScale{sigma: noise.Sigma, clip: noise.Clip}
+	if noise.Sigma == 0 {
+		return ns
+	}
+	const steps = 2048
+	ns.table = make([]float64, steps+1)
+	lo := -noise.Clip * noise.Sigma
+	hi := +noise.Clip * noise.Sigma
+	for i := 0; i <= steps; i++ {
+		dv := lo + (hi-lo)*float64(i)/steps
+		ns.table[i] = model.FactorRel(v, dv)
+	}
+	return ns
+}
+
+// sample draws a noise value and returns the delay factor m for this
+// cycle (1 when no noise is configured).
+func (ns *noiseScale) sample(rng *rand.Rand) float64 {
+	if ns.sigma == 0 {
+		return 1
+	}
+	dv := rng.NormFloat64() * ns.sigma
+	lim := ns.clip * ns.sigma
+	if dv > lim {
+		dv = lim
+	} else if dv < -lim {
+		dv = -lim
+	}
+	pos := (dv + lim) / (2 * lim) * float64(len(ns.table)-1)
+	i := int(pos)
+	if i >= len(ns.table)-1 {
+		return ns.table[len(ns.table)-1]
+	}
+	frac := pos - float64(i)
+	return ns.table[i]*(1-frac) + ns.table[i+1]*frac
+}
+
+// ---------------------------------------------------------------------
+// Model A
+
+// ModelA injects purely random bit flips with a fixed per-endpoint,
+// per-cycle probability, with no relation to timing, voltage or
+// instruction type beyond targeting the EX-stage endpoints.
+type ModelA struct {
+	// Prob is the per-endpoint flip probability per eligible cycle.
+	Prob float64
+	Sem  Semantics
+}
+
+// Name implements Model.
+func (m *ModelA) Name() string { return "A" }
+
+// NewTrial implements Model.
+func (m *ModelA) NewTrial(rng *rand.Rand) Injector {
+	return &modelAInjector{cfg: m, rng: rng}
+}
+
+type modelAInjector struct {
+	cfg *ModelA
+	rng *rand.Rand
+}
+
+func (in *modelAInjector) Inject(op isa.Op, result, prev uint32, flag, prevFlag bool) (uint32, bool, int) {
+	var viol uint32
+	for e := 0; e < circuit.Width; e++ {
+		if in.rng.Float64() < in.cfg.Prob {
+			viol |= 1 << uint(e)
+		}
+	}
+	flagViol := isa.IsCompare(op) && in.rng.Float64() < in.cfg.Prob
+	return apply(in.cfg.Sem, in.rng, viol, flagViol, result, prev, flag, prevFlag)
+}
+
+// ---------------------------------------------------------------------
+// Models B and B+
+
+// ModelB injects deterministically whenever the clock period (modulated
+// by supply noise for B+) violates the static worst-case path delay to an
+// endpoint, for every ALU instruction regardless of type — the paper's
+// pessimistic static model (Sec. 3.2/3.3). Sigma = 0 yields model B;
+// sigma > 0 yields model B+.
+type ModelB struct {
+	sem      Semantics
+	periodPs float64
+	noise    *noiseScale
+	sigma    float64
+
+	// thresholds[i] is the delay factor m above which endpoint
+	// order[i] violates; ascending. cumMask[i] is the violation mask
+	// when thresholds[0..i] are all exceeded.
+	thresholds []float64
+	cumMask    []uint32
+	cumFlag    []bool
+}
+
+// NewModelB builds a model B/B+ instance for one operating point.
+func NewModelB(alu *circuit.ALU, model timing.VddDelay, vdd, fMHz, sigma float64, sem Semantics) *ModelB {
+	period := circuit.PeriodPs(fMHz)
+	factor := model.Factor(vdd)
+	worst := alu.WorstEndpointPsAt(factor)
+	setup := alu.Config.SetupPs * factor
+
+	m := &ModelB{
+		sem:      sem,
+		periodPs: period,
+		sigma:    sigma,
+		noise:    newNoiseScale(model, vdd, timing.NewNoise(sigma)),
+	}
+	// Endpoint e violates iff (worst_e + setup) * mNoise > period,
+	// i.e. mNoise > period / (worst_e + setup).
+	type ep struct {
+		thr  float64
+		bit  int
+		flag bool
+	}
+	eps := make([]ep, 0, circuit.NumEndpoints)
+	for e := 0; e < circuit.Width; e++ {
+		eps = append(eps, ep{thr: period / (worst[e] + setup), bit: e})
+	}
+	eps = append(eps, ep{thr: period / (worst[circuit.FlagEndpoint] + setup), flag: true})
+	sort.Slice(eps, func(i, j int) bool { return eps[i].thr < eps[j].thr })
+	var mask uint32
+	fl := false
+	for _, e := range eps {
+		if e.flag {
+			fl = true
+		} else {
+			mask |= 1 << uint(e.bit)
+		}
+		m.thresholds = append(m.thresholds, e.thr)
+		m.cumMask = append(m.cumMask, mask)
+		m.cumFlag = append(m.cumFlag, fl)
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *ModelB) Name() string {
+	if m.sigma > 0 {
+		return "B+"
+	}
+	return "B"
+}
+
+// FirstFIMHz returns the lowest frequency at which this operating point
+// can inject at all: the STA limit for model B, shifted down by the
+// worst-case noise droop for B+ (the paper's 661/588 MHz anchors).
+func (m *ModelB) FirstFIMHz() float64 {
+	// Smallest threshold corresponds to the worst endpoint.
+	worstPeriod := m.periodPs / m.thresholds[0] // = worst + setup at V
+	mMax := 1.0
+	if m.noise.sigma > 0 {
+		mMax = m.noise.table[0] // largest slowdown at -clip*sigma
+	}
+	return 1e6 / (worstPeriod * mMax)
+}
+
+// NewTrial implements Model.
+func (m *ModelB) NewTrial(rng *rand.Rand) Injector {
+	return &modelBInjector{cfg: m, rng: rng}
+}
+
+type modelBInjector struct {
+	cfg *ModelB
+	rng *rand.Rand
+}
+
+func (in *modelBInjector) Inject(op isa.Op, result, prev uint32, flag, prevFlag bool) (uint32, bool, int) {
+	c := in.cfg
+	mNoise := c.noise.sample(in.rng)
+	// Find how many thresholds are exceeded.
+	lo, hi := 0, len(c.thresholds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.thresholds[mid] < mNoise {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return result, flag, 0
+	}
+	viol := c.cumMask[lo-1]
+	flagViol := c.cumFlag[lo-1] && isa.IsCompare(op)
+	return apply(c.sem, in.rng, viol, flagViol, result, prev, flag, prevFlag)
+}
+
+// ---------------------------------------------------------------------
+// Model C
+
+// ModelC is the paper's statistical fault-injection model: violation
+// probabilities per endpoint, conditioned on the instruction, evaluated
+// from DTA CDFs that are rescaled every cycle by the sampled supply
+// noise (Fig. 3 of the paper).
+type ModelC struct {
+	sem      Semantics
+	sampling Sampling
+	periodPs float64
+	noise    *noiseScale
+	sigma    float64
+
+	tables [isa.NumOps]*opTable
+}
+
+// opTable holds the per-instruction probability grids over the effective
+// period axis (period / noise factor), at 1 ps resolution.
+type opTable struct {
+	ch     *dta.Characterization
+	nEP    int
+	maxPs  float64 // beyond this effective period nothing violates
+	stepPs float64
+	pNone  []float64
+	pBit   [][]float64 // [endpoint][grid index]
+	active []int       // endpoints with nonzero probability anywhere
+}
+
+// ModelCConfig carries model C construction parameters.
+type ModelCConfig struct {
+	Vdd      float64
+	FreqMHz  float64
+	Sigma    float64
+	Profile  dta.Profile
+	Sem      Semantics
+	Sampling Sampling
+}
+
+// NewModelC builds the statistical model for one operating point; the
+// required characterizations run (and cache) on first use.
+func NewModelC(ch *dta.Characterizer, cfg ModelCConfig) (*ModelC, error) {
+	m := &ModelC{
+		sem:      cfg.Sem,
+		sampling: cfg.Sampling,
+		periodPs: circuit.PeriodPs(cfg.FreqMHz),
+		sigma:    cfg.Sigma,
+		noise:    newNoiseScale(ch.Model, cfg.Vdd, timing.NewNoise(cfg.Sigma)),
+	}
+	built := map[dta.Key]*opTable{}
+	for _, op := range isa.AllOps() {
+		if !isa.IsALU(op) {
+			continue
+		}
+		key := dta.KeyFor(op, cfg.Profile)
+		t, ok := built[key]
+		if !ok {
+			c, err := ch.At(key, cfg.Vdd)
+			if err != nil {
+				return nil, err
+			}
+			t = newOpTable(c)
+			built[key] = t
+		}
+		m.tables[op] = t
+	}
+	return m, nil
+}
+
+func newOpTable(c *dta.Characterization) *opTable {
+	t := &opTable{
+		ch:     c,
+		nEP:    c.NumEndpoints(),
+		maxPs:  c.MaxPs + c.SetupPs,
+		stepPs: 1,
+	}
+	n := int(math.Ceil(t.maxPs/t.stepPs)) + 2
+	t.pNone = make([]float64, n)
+	t.pBit = make([][]float64, t.nEP)
+	anyProb := make([]bool, t.nEP)
+	for e := 0; e < t.nEP; e++ {
+		t.pBit[e] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		period := float64(i) * t.stepPs
+		pN := 1.0
+		for e := 0; e < t.nEP; e++ {
+			p := c.CDFs[e].ViolationProb(period)
+			t.pBit[e][i] = p
+			pN *= 1 - p
+			if p > 0 {
+				anyProb[e] = true
+			}
+		}
+		t.pNone[i] = pN
+	}
+	for e, a := range anyProb {
+		if a {
+			t.active = append(t.active, e)
+		}
+	}
+	return t
+}
+
+// Name implements Model.
+func (m *ModelC) Name() string { return "C" }
+
+// NewTrial implements Model.
+func (m *ModelC) NewTrial(rng *rand.Rand) Injector {
+	return &modelCInjector{cfg: m, rng: rng}
+}
+
+// OnsetMHz returns, per ALU op, the zero-noise frequency at which the
+// first violations appear (used by instruction characterization reports).
+func (m *ModelC) OnsetMHz(op isa.Op) float64 {
+	t := m.tables[op]
+	if t == nil {
+		return math.Inf(1)
+	}
+	return 1e6 / t.maxPs
+}
+
+type modelCInjector struct {
+	cfg *ModelC
+	rng *rand.Rand
+}
+
+func (in *modelCInjector) Inject(op isa.Op, result, prev uint32, flag, prevFlag bool) (uint32, bool, int) {
+	c := in.cfg
+	t := c.tables[op]
+	if t == nil {
+		return result, flag, 0
+	}
+	mNoise := c.noise.sample(in.rng)
+	eff := c.periodPs / mNoise
+	if eff >= t.maxPs {
+		return result, flag, 0
+	}
+	var viol uint32
+	var flagViol bool
+	switch c.sampling {
+	case Independent:
+		idx := int(eff / t.stepPs)
+		if idx < 0 {
+			idx = 0
+		}
+		if in.rng.Float64() < t.pNone[idx] {
+			return result, flag, 0
+		}
+		// At least one endpoint violates; sample the subset
+		// conditioned on non-emptiness by rejection.
+		for {
+			for _, e := range t.active {
+				if in.rng.Float64() < t.pBit[e][idx] {
+					if e == circuit.FlagEndpoint {
+						flagViol = true
+					} else {
+						viol |= 1 << uint(e)
+					}
+				}
+			}
+			if viol != 0 || flagViol {
+				break
+			}
+		}
+	case Joint:
+		j := in.rng.Intn(t.ch.Cycles)
+		if t.ch.MaxPerCycle[j]+t.ch.SetupPs <= eff {
+			return result, flag, 0
+		}
+		for e := 0; e < t.nEP; e++ {
+			if t.ch.Arrivals[e][j]+t.ch.SetupPs > eff {
+				if e == circuit.FlagEndpoint {
+					flagViol = true
+				} else {
+					viol |= 1 << uint(e)
+				}
+			}
+		}
+	}
+	// Only compares latch the flag endpoint.
+	if !isa.IsCompare(op) {
+		flagViol = false
+	}
+	return apply(c.sem, in.rng, viol, flagViol, result, prev, flag, prevFlag)
+}
+
+// ---------------------------------------------------------------------
+
+// NullModel never injects; it produces golden runs through the same
+// machinery.
+type NullModel struct{}
+
+// Name implements Model.
+func (NullModel) Name() string { return "none" }
+
+// NewTrial implements Model.
+func (NullModel) NewTrial(*rand.Rand) Injector { return nullInjector{} }
+
+type nullInjector struct{}
+
+func (nullInjector) Inject(_ isa.Op, r, _ uint32, f, _ bool) (uint32, bool, int) {
+	return r, f, 0
+}

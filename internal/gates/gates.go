@@ -1,0 +1,492 @@
+// Package gates provides the gate-level netlist substrate of the
+// simulator: combinational netlists built from a small standard-cell-like
+// library, with per-gate nominal delays and per-gate voltage-sensitivity
+// exponents (process heterogeneity), plus static longest-path analysis and
+// an event-driven timed logic simulator used by the dynamic timing
+// analysis (internal/dta).
+//
+// The timed simulator applies a new input vector at t=0 and propagates
+// transitions through the netlist in topological order using a transport
+// delay model with inertial pulse rejection (pulses narrower than a gate's
+// delay are filtered). The quantity of interest per evaluation is each
+// output's arrival time: the time of its final transition within the
+// cycle, which is exactly what the paper's dynamic timing analysis
+// extracts from the post place & route netlist.
+package gates
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kind enumerates the cell library.
+type Kind uint8
+
+// Cell kinds. Xor3 and Maj3 exist so full adders cost two cells instead of
+// five, which keeps multiplier netlists tractable; their delays are set to
+// match the equivalent two-level decompositions.
+const (
+	KindInput Kind = iota
+	KindConst0
+	KindConst1
+	KindNot
+	KindBuf
+	KindAnd2
+	KindOr2
+	KindNand2
+	KindNor2
+	KindXor2
+	KindXnor2
+	KindXor3
+	KindMaj3
+	KindMux2 // fanin: sel, a0, a1; out = sel ? a1 : a0
+	numKinds
+)
+
+// fanins returns the number of inputs a kind consumes.
+func (k Kind) fanins() int {
+	switch k {
+	case KindInput, KindConst0, KindConst1:
+		return 0
+	case KindNot, KindBuf:
+		return 1
+	case KindXor3, KindMaj3, KindMux2:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	names := [...]string{"input", "const0", "const1", "not", "buf", "and2",
+		"or2", "nand2", "nor2", "xor2", "xnor2", "xor3", "maj3", "mux2"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Eval computes the boolean function of a kind on up to three inputs.
+func Eval(k Kind, a, b, c bool) bool {
+	switch k {
+	case KindConst0:
+		return false
+	case KindConst1:
+		return true
+	case KindNot:
+		return !a
+	case KindBuf, KindInput:
+		return a
+	case KindAnd2:
+		return a && b
+	case KindOr2:
+		return a || b
+	case KindNand2:
+		return !(a && b)
+	case KindNor2:
+		return !(a || b)
+	case KindXor2:
+		return a != b
+	case KindXnor2:
+		return a == b
+	case KindXor3:
+		return (a != b) != c
+	case KindMaj3:
+		return a && b || a && c || b && c
+	case KindMux2:
+		if a {
+			return c
+		}
+		return b
+	}
+	return false
+}
+
+// Netlist is an immutable combinational netlist. Node IDs are dense and
+// creation order is a valid topological order (the builder only connects
+// existing nodes).
+type Netlist struct {
+	Kind  []Kind
+	Fanin [][3]int32
+	D0    []float64 // nominal delay in ps at the reference voltage
+	Eta   []float64 // per-gate voltage-sensitivity exponent scale
+
+	Inputs  []int32          // Input nodes in declaration order
+	Outputs map[string]int32 // named endpoints
+}
+
+// NumNodes returns the node count.
+func (n *Netlist) NumNodes() int { return len(n.Kind) }
+
+// Scale multiplies every nominal gate delay by f. It is used to calibrate
+// a unit's worst path against the synthesis clock constraint.
+func (n *Netlist) Scale(f float64) {
+	for i := range n.D0 {
+		n.D0[i] *= f
+	}
+}
+
+// DelaysAt returns the per-gate delay vector for a global voltage-derived
+// delay factor. Each gate responds as factor^eta with its own eta, which
+// models that paths of different gate composition do not scale perfectly
+// uniformly over voltage.
+func (n *Netlist) DelaysAt(factor float64) []float64 {
+	d := make([]float64, len(n.D0))
+	if factor == 1 {
+		copy(d, n.D0)
+		return d
+	}
+	for i := range d {
+		d[i] = n.D0[i] * math.Pow(factor, n.Eta[i])
+	}
+	return d
+}
+
+// STA computes, for every node, the static worst-case arrival time under
+// the given delay vector: the classic longest-path recurrence with all
+// primary inputs arriving at t=0. It ignores logic masking, exactly like
+// the static analysis that model B of the paper builds on.
+func (n *Netlist) STA(delays []float64) []float64 {
+	arr := make([]float64, n.NumNodes())
+	for g := range n.Kind {
+		k := n.Kind[g]
+		nf := k.fanins()
+		if nf == 0 {
+			arr[g] = 0
+			continue
+		}
+		worst := 0.0
+		for i := 0; i < nf; i++ {
+			if a := arr[n.Fanin[g][i]]; a > worst {
+				worst = a
+			}
+		}
+		arr[g] = worst + delays[g]
+	}
+	return arr
+}
+
+// WorstOutputArrival returns the largest STA arrival over the named
+// outputs and the name achieving it.
+func (n *Netlist) WorstOutputArrival(delays []float64) (float64, string) {
+	arr := n.STA(delays)
+	worst, at := 0.0, ""
+	for name, node := range n.Outputs {
+		if arr[node] > worst || at == "" {
+			worst, at = arr[node], name
+		}
+	}
+	return worst, at
+}
+
+// DelayModel assigns nominal delays and voltage sensitivities to new
+// gates. FOUR/NAND-class cells are fast; XOR-class cells slow, mirroring
+// standard-cell libraries.
+type DelayModel struct {
+	rng *rand.Rand
+	// Variation is the half-width of the uniform per-gate delay spread
+	// (0.1 means +/-10%).
+	Variation float64
+	// EtaSpread is the half-width of the per-gate voltage-sensitivity
+	// spread around 1.0.
+	EtaSpread float64
+}
+
+// NewDelayModel returns a seeded delay model with the default spreads.
+func NewDelayModel(seed int64) *DelayModel {
+	return &DelayModel{rng: rand.New(rand.NewSource(seed)), Variation: 0.10, EtaSpread: 0.05}
+}
+
+// base nominal delays (ps) per kind at the reference voltage. The
+// absolute scale is irrelevant because units are calibrated against the
+// clock constraint; the ratios follow typical 28 nm cell libraries.
+var baseDelay = [numKinds]float64{
+	KindInput: 0, KindConst0: 0, KindConst1: 0,
+	KindNot: 11, KindBuf: 14,
+	KindAnd2: 19, KindOr2: 20, KindNand2: 14, KindNor2: 16,
+	KindXor2: 28, KindXnor2: 28,
+	KindXor3: 52, KindMaj3: 30,
+	KindMux2: 24,
+}
+
+// delay draws a nominal delay and sensitivity for one instance of kind k.
+func (m *DelayModel) delay(k Kind) (d0, eta float64) {
+	b := baseDelay[k]
+	if b == 0 {
+		return 0, 1
+	}
+	d0 = b * (1 + m.Variation*(2*m.rng.Float64()-1))
+	eta = 1 + m.EtaSpread*(2*m.rng.Float64()-1)
+	return d0, eta
+}
+
+// Builder incrementally constructs a netlist.
+type Builder struct {
+	nl *Netlist
+	dm *DelayModel
+}
+
+// NewBuilder returns a builder using the given delay model.
+func NewBuilder(dm *DelayModel) *Builder {
+	return &Builder{
+		nl: &Netlist{Outputs: map[string]int32{}},
+		dm: dm,
+	}
+}
+
+func (b *Builder) add(k Kind, f0, f1, f2 int32) int32 {
+	id := int32(len(b.nl.Kind))
+	n := int32(id)
+	for i, f := range [3]int32{f0, f1, f2} {
+		if i < k.fanins() && (f < 0 || f >= n) {
+			panic(fmt.Sprintf("gates: fanin %d of new %v node out of range", f, k))
+		}
+	}
+	d0, eta := b.dm.delay(k)
+	b.nl.Kind = append(b.nl.Kind, k)
+	b.nl.Fanin = append(b.nl.Fanin, [3]int32{f0, f1, f2})
+	b.nl.D0 = append(b.nl.D0, d0)
+	b.nl.Eta = append(b.nl.Eta, eta)
+	if k == KindInput {
+		b.nl.Inputs = append(b.nl.Inputs, id)
+	}
+	return id
+}
+
+// Input declares a primary input.
+func (b *Builder) Input() int32 { return b.add(KindInput, 0, 0, 0) }
+
+// Const declares a constant node.
+func (b *Builder) Const(v bool) int32 {
+	if v {
+		return b.add(KindConst1, 0, 0, 0)
+	}
+	return b.add(KindConst0, 0, 0, 0)
+}
+
+// Not adds an inverter.
+func (b *Builder) Not(x int32) int32 { return b.add(KindNot, x, 0, 0) }
+
+// Buf adds a buffer.
+func (b *Builder) Buf(x int32) int32 { return b.add(KindBuf, x, 0, 0) }
+
+// And adds a 2-input AND.
+func (b *Builder) And(x, y int32) int32 { return b.add(KindAnd2, x, y, 0) }
+
+// Or adds a 2-input OR.
+func (b *Builder) Or(x, y int32) int32 { return b.add(KindOr2, x, y, 0) }
+
+// Nand adds a 2-input NAND.
+func (b *Builder) Nand(x, y int32) int32 { return b.add(KindNand2, x, y, 0) }
+
+// Nor adds a 2-input NOR.
+func (b *Builder) Nor(x, y int32) int32 { return b.add(KindNor2, x, y, 0) }
+
+// Xor adds a 2-input XOR.
+func (b *Builder) Xor(x, y int32) int32 { return b.add(KindXor2, x, y, 0) }
+
+// Xnor adds a 2-input XNOR.
+func (b *Builder) Xnor(x, y int32) int32 { return b.add(KindXnor2, x, y, 0) }
+
+// Xor3 adds a 3-input XOR (full-adder sum).
+func (b *Builder) Xor3(x, y, z int32) int32 { return b.add(KindXor3, x, y, z) }
+
+// Maj3 adds a 3-input majority (full-adder carry).
+func (b *Builder) Maj3(x, y, z int32) int32 { return b.add(KindMaj3, x, y, z) }
+
+// Mux adds a 2:1 mux: sel ? a1 : a0.
+func (b *Builder) Mux(sel, a0, a1 int32) int32 { return b.add(KindMux2, sel, a0, a1) }
+
+// Output names a node as an endpoint.
+func (b *Builder) Output(name string, node int32) {
+	if _, dup := b.nl.Outputs[name]; dup {
+		panic(fmt.Sprintf("gates: duplicate output %q", name))
+	}
+	b.nl.Outputs[name] = node
+}
+
+// Build finalizes and returns the netlist.
+func (b *Builder) Build() *Netlist { return b.nl }
+
+// Trans is one output transition of the timed simulation.
+type Trans struct {
+	T float64
+	V bool
+}
+
+// Sim is a reusable timed simulator for one netlist. It is not safe for
+// concurrent use; create one per goroutine.
+type Sim struct {
+	nl    *Netlist
+	delay []float64
+	val   []bool // stable values after the last Cycle/Settle
+	old   []bool
+	arr   []float64
+	wf    [][]Trans
+	// Transitions counts output transitions processed by the last
+	// Cycle call, a measure of switching activity.
+	Transitions int
+}
+
+// NewSim creates a simulator with the given delay vector (length must
+// match the netlist).
+func NewSim(nl *Netlist, delays []float64) *Sim {
+	if len(delays) != nl.NumNodes() {
+		panic("gates: delay vector length mismatch")
+	}
+	s := &Sim{
+		nl:    nl,
+		delay: delays,
+		val:   make([]bool, nl.NumNodes()),
+		old:   make([]bool, nl.NumNodes()),
+		arr:   make([]float64, nl.NumNodes()),
+		wf:    make([][]Trans, nl.NumNodes()),
+	}
+	// Establish a consistent initial state (constants settled).
+	s.Settle(make([]bool, len(nl.Inputs)))
+	return s
+}
+
+// Settle applies an input vector (in Netlist.Inputs order) and propagates
+// it functionally with all arrivals reset to zero. Use it to establish
+// the pre-cycle state.
+func (s *Sim) Settle(inputs []bool) {
+	if len(inputs) != len(s.nl.Inputs) {
+		panic("gates: input vector length mismatch")
+	}
+	in := 0
+	for g := range s.nl.Kind {
+		k := s.nl.Kind[g]
+		switch k {
+		case KindInput:
+			s.val[g] = inputs[in]
+			in++
+		default:
+			f := s.nl.Fanin[g]
+			var a, b, c bool
+			switch k.fanins() {
+			case 1:
+				a = s.val[f[0]]
+			case 2:
+				a, b = s.val[f[0]], s.val[f[1]]
+			case 3:
+				a, b, c = s.val[f[0]], s.val[f[1]], s.val[f[2]]
+			}
+			s.val[g] = Eval(k, a, b, c)
+		}
+		s.arr[g] = 0
+	}
+}
+
+// Cycle applies a new input vector at t=0 and performs the timed
+// propagation. Afterwards Value and Arrival report the settled value and
+// the final-transition time of every node.
+func (s *Sim) Cycle(inputs []bool) {
+	if len(inputs) != len(s.nl.Inputs) {
+		panic("gates: input vector length mismatch")
+	}
+	copy(s.old, s.val)
+	s.Transitions = 0
+	in := 0
+	for g := range s.nl.Kind {
+		k := s.nl.Kind[g]
+		wf := s.wf[g][:0]
+		switch k {
+		case KindInput:
+			nv := inputs[in]
+			in++
+			if nv != s.old[g] {
+				wf = append(wf, Trans{0, nv})
+				s.val[g] = nv
+				s.arr[g] = 0
+			} else {
+				s.val[g] = nv
+				s.arr[g] = 0
+			}
+		case KindConst0, KindConst1:
+			// No activity.
+		default:
+			wf = s.propagate(g, wf)
+		}
+		s.wf[g] = wf
+		if n := len(wf); n > 0 {
+			s.val[g] = wf[n-1].V
+			s.arr[g] = wf[n-1].T
+			s.Transitions += n
+		} else {
+			s.val[g] = s.old[g]
+			if k == KindInput {
+				s.val[g] = inputs[in-1]
+			}
+			s.arr[g] = 0
+		}
+	}
+}
+
+// propagate computes the output waveform of gate g from its fanin
+// waveforms using transport delay with inertial pulse rejection.
+func (s *Sim) propagate(g int, out []Trans) []Trans {
+	k := s.nl.Kind[g]
+	nf := k.fanins()
+	f := s.nl.Fanin[g]
+	d := s.delay[g]
+
+	// Current input values start at the pre-cycle stable values.
+	var cur [3]bool
+	var idx [3]int
+	for i := 0; i < nf; i++ {
+		cur[i] = s.old[f[i]]
+	}
+	initial := Eval(k, cur[0], cur[1], cur[2])
+
+	tailV := func() bool {
+		if len(out) > 0 {
+			return out[len(out)-1].V
+		}
+		return initial
+	}
+
+	for {
+		// Find the earliest pending transition among fanins.
+		t := math.Inf(1)
+		for i := 0; i < nf; i++ {
+			w := s.wf[f[i]]
+			if idx[i] < len(w) && w[idx[i]].T < t {
+				t = w[idx[i]].T
+			}
+		}
+		if math.IsInf(t, 1) {
+			break
+		}
+		// Apply every transition at exactly t.
+		for i := 0; i < nf; i++ {
+			w := s.wf[f[i]]
+			for idx[i] < len(w) && w[idx[i]].T == t {
+				cur[i] = w[idx[i]].V
+				idx[i]++
+			}
+		}
+		v := Eval(k, cur[0], cur[1], cur[2])
+		if v == tailV() {
+			continue
+		}
+		tt := t + d
+		if n := len(out); n > 0 && tt-out[n-1].T < d {
+			// Inertial rejection: the previous pulse is narrower
+			// than the gate delay; it never appears at the output.
+			out = out[:n-1]
+		} else {
+			out = append(out, Trans{tt, v})
+		}
+	}
+	return out
+}
+
+// Value returns the settled value of a node after the last Cycle/Settle.
+func (s *Sim) Value(node int32) bool { return s.val[node] }
+
+// Arrival returns the final-transition time of a node in the last Cycle
+// (0 when the node did not toggle).
+func (s *Sim) Arrival(node int32) float64 { return s.arr[node] }

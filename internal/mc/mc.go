@@ -1,0 +1,281 @@
+// Package mc is the Monte-Carlo experiment harness: it runs a benchmark
+// under a fault-injection model at one operating point for many trials
+// (the paper uses at least 100 per data point, 200 for Fig. 5), sweeps
+// frequency ranges, and aggregates the paper's four application-level
+// metrics: probability to finish, probability to be correct, fault
+// injection rate (FIs per kCycle of kernel execution), and output error
+// of the runs that finished.
+package mc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+func newMem() *mem.Memory { return mem.New() }
+
+// Spec describes one experiment configuration (everything but the
+// frequency, which the sweep varies).
+type Spec struct {
+	System *core.System
+	Bench  *bench.Benchmark
+	Model  core.ModelSpec // FreqMHz is overridden per point
+	// Trials per data point (default 100).
+	Trials int
+	// Seed drives all trial randomness (noise, injection, per-trial
+	// operands); every (seed, trial index) pair is reproducible.
+	Seed int64
+	// InputSeed fixes the benchmark's input data.
+	InputSeed int64
+	// WatchdogFactor bounds a faulty run at this multiple of the
+	// fault-free cycle count (default 4): the infinite-loop detection
+	// of the paper's ISS.
+	WatchdogFactor float64
+	// Workers limits parallelism (default NumCPU).
+	Workers int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Trials <= 0 {
+		s.Trials = 100
+	}
+	if s.WatchdogFactor <= 0 {
+		s.WatchdogFactor = 4
+	}
+	if s.Workers <= 0 {
+		s.Workers = runtime.NumCPU()
+	}
+	if s.InputSeed == 0 {
+		s.InputSeed = 42
+	}
+	return s
+}
+
+// Point aggregates one (configuration, frequency) data point.
+type Point struct {
+	FreqMHz      float64
+	Trials       int
+	FinishedPct  float64 // runs that exited cleanly
+	CorrectPct   float64 // runs with bit-exact output
+	FIRate       float64 // endpoint violations per kernel kCycle (all runs)
+	OutputErr    float64 // mean metric over finished runs (0 if none finished)
+	OutputErrAll float64 // mean metric with non-finished runs counted as 100%
+	KernelCycles float64 // mean kernel cycles of finished runs
+}
+
+// goldenRun executes the benchmark fault-free and returns program,
+// expected outputs and the cycle count.
+func goldenRun(s Spec, seed int64) (*asm.Program, []uint32, uint64, error) {
+	src, want, err := s.Bench.Build(seed)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("mc: %s: %w", s.Bench.Name, err)
+	}
+	m := newMem()
+	c := cpu.New(m, nil, s.System.Cfg.CPU)
+	if err := c.Load(p); err != nil {
+		return nil, nil, 0, err
+	}
+	c.SetWatchdog(100_000_000)
+	if st := c.Run(); st != cpu.StatusExited {
+		return nil, nil, 0, fmt.Errorf("mc: %s: golden run ended %v (%v)", s.Bench.Name, st, c.TrapErr())
+	}
+	got, err := s.Bench.Outputs(m, p)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return nil, nil, 0, fmt.Errorf("mc: %s: golden output mismatch at %d", s.Bench.Name, i)
+		}
+	}
+	return p, want, c.Cycles, nil
+}
+
+// Run evaluates one data point at the given frequency.
+func Run(spec Spec, fMHz float64) (Point, error) {
+	s := spec.withDefaults()
+	ms := s.Model
+	ms.FreqMHz = fMHz
+	if ms.Profile == nil {
+		ms.Profile = s.Bench.Profile
+	}
+	model, err := s.System.Model(ms)
+	if err != nil {
+		return Point{}, err
+	}
+
+	var sharedProg *asm.Program
+	var sharedWant []uint32
+	var goldenCycles uint64
+	if !s.Bench.PerTrialInputs {
+		sharedProg, sharedWant, goldenCycles, err = goldenRun(s, s.InputSeed)
+		if err != nil {
+			return Point{}, err
+		}
+	} else {
+		// Use one golden run just to size the watchdog.
+		_, _, goldenCycles, err = goldenRun(s, s.InputSeed)
+		if err != nil {
+			return Point{}, err
+		}
+	}
+	watchdog := uint64(float64(goldenCycles) * s.WatchdogFactor)
+
+	type result struct {
+		finished, correct bool
+		fiBits            uint64
+		kernelCycles      uint64
+		metric            float64
+		err               error
+	}
+	results := make([]result, s.Trials)
+
+	var wg sync.WaitGroup
+	trialCh := make(chan int)
+	for w := 0; w < s.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := newMem()
+			for t := range trialCh {
+				rng := stats.NewRand(stats.SubSeed(s.Seed, t))
+				prog, want := sharedProg, sharedWant
+				if s.Bench.PerTrialInputs {
+					src, w2, err := s.Bench.Build(stats.SubSeed(s.InputSeed, t))
+					if err != nil {
+						results[t].err = err
+						continue
+					}
+					p2, err := asm.Assemble(src)
+					if err != nil {
+						results[t].err = err
+						continue
+					}
+					prog, want = p2, w2
+				}
+				m.Reset()
+				c := cpu.New(m, model.NewTrial(rng), s.System.Cfg.CPU)
+				if err := c.Load(prog); err != nil {
+					results[t].err = err
+					continue
+				}
+				c.SetWatchdog(watchdog)
+				st := c.Run()
+				r := &results[t]
+				r.fiBits = c.FIBits
+				r.kernelCycles = c.KernelCycles
+				if st != cpu.StatusExited {
+					continue
+				}
+				r.finished = true
+				got, err := s.Bench.Outputs(m, prog)
+				if err != nil {
+					// Output extraction can only fail on a broken
+					// benchmark definition, not on FI.
+					r.err = err
+					continue
+				}
+				r.metric = s.Bench.Metric(got, want)
+				r.correct = true
+				for i := range got {
+					if got[i] != want[i] {
+						r.correct = false
+						break
+					}
+				}
+			}
+		}()
+	}
+	for t := 0; t < s.Trials; t++ {
+		trialCh <- t
+	}
+	close(trialCh)
+	wg.Wait()
+
+	pt := Point{FreqMHz: fMHz, Trials: s.Trials}
+	var fin, cor int
+	var fiBits, kCycles, kCyclesFin uint64
+	var errSum, errAllSum float64
+	for _, r := range results {
+		if r.err != nil {
+			return Point{}, r.err
+		}
+		fiBits += r.fiBits
+		kCycles += r.kernelCycles
+		if r.finished {
+			fin++
+			errSum += r.metric
+			errAllSum += capPct(r.metric)
+			kCyclesFin += r.kernelCycles
+			if r.correct {
+				cor++
+			}
+		} else {
+			errAllSum += 100
+		}
+	}
+	pt.FinishedPct = pct(fin, s.Trials)
+	pt.CorrectPct = pct(cor, s.Trials)
+	if kCycles > 0 {
+		pt.FIRate = float64(fiBits) / float64(kCycles) * 1000
+	}
+	if fin > 0 {
+		pt.OutputErr = errSum / float64(fin)
+		pt.KernelCycles = float64(kCyclesFin) / float64(fin)
+	}
+	pt.OutputErrAll = errAllSum / float64(s.Trials)
+	return pt, nil
+}
+
+func pct(n, total int) float64 { return float64(n) / float64(total) * 100 }
+
+func capPct(x float64) float64 {
+	if x > 100 {
+		return 100
+	}
+	return x
+}
+
+// Sweep evaluates the configuration over a list of frequencies.
+func Sweep(spec Spec, freqs []float64) ([]Point, error) {
+	pts := make([]Point, 0, len(freqs))
+	for _, f := range freqs {
+		p, err := Run(spec, f)
+		if err != nil {
+			return pts, err
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// PoFF locates the point of first failure in a sweep: the lowest
+// frequency whose point is no longer 100% correct (the paper's
+// definition). It returns the frequency and true, or 0 and false when
+// every point is fully correct.
+func PoFF(points []Point) (float64, bool) {
+	for _, p := range points {
+		if p.CorrectPct < 100 {
+			return p.FreqMHz, true
+		}
+	}
+	return 0, false
+}
+
+// GainOverSTA expresses a PoFF as percent gain over the STA limit, the
+// annotation of the paper's Fig. 5/6.
+func GainOverSTA(poffMHz, staMHz float64) float64 {
+	return (poffMHz - staMHz) / staMHz * 100
+}

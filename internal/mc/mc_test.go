@@ -1,0 +1,210 @@
+package mc
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dta"
+)
+
+var (
+	sysOnce sync.Once
+	sys     *core.System
+)
+
+func system() *core.System {
+	sysOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.DTA = dta.Config{Cycles: 768, Seed: 5}
+		sys = core.New(cfg)
+	})
+	return sys
+}
+
+func TestGoldenPointIsPerfect(t *testing.T) {
+	spec := Spec{
+		System: system(),
+		Bench:  bench.Median(),
+		Model:  core.ModelSpec{Kind: "none"},
+		Trials: 5,
+		Seed:   1,
+	}
+	pt, err := Run(spec, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.FinishedPct != 100 || pt.CorrectPct != 100 {
+		t.Errorf("golden point: finished %v correct %v", pt.FinishedPct, pt.CorrectPct)
+	}
+	if pt.FIRate != 0 || pt.OutputErr != 0 {
+		t.Errorf("golden point injected: rate %v err %v", pt.FIRate, pt.OutputErr)
+	}
+	if pt.KernelCycles < 100_000 {
+		t.Errorf("median kernel cycles %v suspiciously low", pt.KernelCycles)
+	}
+}
+
+func TestModelCBelowOnsetIsClean(t *testing.T) {
+	spec := Spec{
+		System: system(),
+		Bench:  bench.MatMult8(),
+		Model:  core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0},
+		Trials: 5,
+		Seed:   1,
+	}
+	pt, err := Run(spec, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.CorrectPct != 100 || pt.FIRate != 0 {
+		t.Errorf("below onset: correct %v rate %v", pt.CorrectPct, pt.FIRate)
+	}
+}
+
+func TestModelBDestroysEverythingAboveSTA(t *testing.T) {
+	spec := Spec{
+		System: system(),
+		Bench:  bench.MatMult8(),
+		Model:  core.ModelSpec{Kind: "B", Vdd: 0.7},
+		Trials: 5,
+		Seed:   1,
+	}
+	sta := system().STALimitMHz(0.7)
+	pt, err := Run(spec, sta+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.CorrectPct != 0 {
+		t.Errorf("model B above STA left %v%% correct", pt.CorrectPct)
+	}
+	if pt.FIRate < 100 {
+		t.Errorf("model B above STA FI rate %v too low", pt.FIRate)
+	}
+	below, err := Run(spec, sta-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below.CorrectPct != 100 {
+		t.Errorf("model B below STA broke runs: %v%%", below.CorrectPct)
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	spec := Spec{
+		System: system(),
+		Bench:  bench.Median(),
+		Model:  core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010},
+		Trials: 10,
+		Seed:   99,
+	}
+	a, err := Run(spec, 860)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, 860)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed differed:\n%+v\n%+v", a, b)
+	}
+	spec.Seed = 100
+	c, err := Run(spec, 860)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Errorf("different seeds produced identical points")
+	}
+}
+
+func TestSweepAndPoFF(t *testing.T) {
+	spec := Spec{
+		System: system(),
+		Bench:  bench.Median(),
+		Model:  core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010},
+		Trials: 10,
+		Seed:   1,
+	}
+	pts, err := Sweep(spec, []float64{700, 800, 900, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("sweep returned %d points", len(pts))
+	}
+	if pts[0].CorrectPct != 100 {
+		t.Errorf("lowest point not clean")
+	}
+	if pts[3].CorrectPct == 100 {
+		t.Errorf("highest point still fully correct")
+	}
+	poff, ok := PoFF(pts)
+	if !ok {
+		t.Fatalf("no PoFF found")
+	}
+	if poff < 750 || poff > 1000 {
+		t.Errorf("PoFF %v outside expected range", poff)
+	}
+	if g := GainOverSTA(777.7, 707); g < 9.9 || g > 10.1 {
+		t.Errorf("gain computation wrong: %v", g)
+	}
+}
+
+func TestNonALULimitRejected(t *testing.T) {
+	spec := Spec{
+		System: system(),
+		Bench:  bench.Median(),
+		Model:  core.ModelSpec{Kind: "C", Vdd: 0.7},
+		Trials: 2,
+		Seed:   1,
+	}
+	if _, err := Run(spec, 1200); err == nil {
+		t.Errorf("operating point beyond the non-ALU safe limit accepted")
+	}
+}
+
+func TestPerTrialInputsMicro(t *testing.T) {
+	spec := Spec{
+		System: system(),
+		Bench:  bench.MicroAdd32(),
+		Model:  core.ModelSpec{Kind: "none"},
+		Trials: 6,
+		Seed:   1,
+	}
+	pt, err := Run(spec, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.CorrectPct != 100 {
+		t.Errorf("micro golden not correct: %v%%", pt.CorrectPct)
+	}
+}
+
+func TestModelAInjects(t *testing.T) {
+	spec := Spec{
+		System: system(),
+		Bench:  bench.MatMult8(),
+		Model:  core.ModelSpec{Kind: "A", ProbA: 1e-4},
+		Trials: 5,
+		Seed:   1,
+	}
+	pt, err := Run(spec, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.FIRate == 0 {
+		t.Errorf("model A injected nothing")
+	}
+	// Model A has no frequency awareness: the rate is identical at any
+	// frequency.
+	pt2, err := Run(spec, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.FIRate != pt2.FIRate {
+		t.Errorf("model A rate depends on frequency: %v vs %v", pt.FIRate, pt2.FIRate)
+	}
+}

@@ -1,0 +1,178 @@
+// Package mem models the single-cycle SRAM macros attached to the
+// simulated core: a big-endian, word-addressable flat memory with separate
+// instruction and data regions, alignment checking, and simple access
+// accounting. The paper's core uses single-cycle instruction and data
+// SRAMs, so no wait states are modelled.
+package mem
+
+import "fmt"
+
+// Region boundaries of the default memory map. The text segment of the
+// assembler lands in the instruction region, .data in the data region.
+const (
+	IMemBase = 0x00000000
+	IMemSize = 0x00040000 // 256 KiB instruction SRAM
+	DMemBase = 0x00040000
+	DMemSize = 0x00040000 // 256 KiB data SRAM
+)
+
+// AccessError reports an out-of-range or misaligned access. The simulator
+// converts it into a bus-error trap, which ends a faulty run.
+type AccessError struct {
+	Addr  uint32
+	Size  int
+	Write bool
+	Why   string
+}
+
+func (e *AccessError) Error() string {
+	kind := "load"
+	if e.Write {
+		kind = "store"
+	}
+	return fmt.Sprintf("mem: %s of %d bytes at 0x%08x: %s", kind, e.Size, e.Addr, e.Why)
+}
+
+// Memory is the unified memory of the simulated system.
+type Memory struct {
+	bytes []byte
+
+	// Access statistics, useful for benchmark characterization.
+	Loads  uint64
+	Stores uint64
+}
+
+// New returns a zeroed memory covering both SRAM regions.
+func New() *Memory {
+	return &Memory{bytes: make([]byte, IMemSize+DMemSize)}
+}
+
+// Reset zeroes the memory and the access counters.
+func (m *Memory) Reset() {
+	for i := range m.bytes {
+		m.bytes[i] = 0
+	}
+	m.Loads, m.Stores = 0, 0
+}
+
+// Size returns the total number of bytes backed by the memory.
+func (m *Memory) Size() uint32 { return uint32(len(m.bytes)) }
+
+func (m *Memory) check(addr uint32, size int, write bool) error {
+	if uint64(addr)+uint64(size) > uint64(len(m.bytes)) {
+		return &AccessError{Addr: addr, Size: size, Write: write, Why: "out of range"}
+	}
+	if addr%uint32(size) != 0 {
+		return &AccessError{Addr: addr, Size: size, Write: write, Why: "misaligned"}
+	}
+	return nil
+}
+
+// LoadWord reads a big-endian 32-bit word.
+func (m *Memory) LoadWord(addr uint32) (uint32, error) {
+	if err := m.check(addr, 4, false); err != nil {
+		return 0, err
+	}
+	m.Loads++
+	b := m.bytes[addr:]
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+}
+
+// LoadHalf reads a big-endian 16-bit halfword (zero-extended by the CPU).
+func (m *Memory) LoadHalf(addr uint32) (uint16, error) {
+	if err := m.check(addr, 2, false); err != nil {
+		return 0, err
+	}
+	m.Loads++
+	b := m.bytes[addr:]
+	return uint16(b[0])<<8 | uint16(b[1]), nil
+}
+
+// LoadByte reads one byte.
+func (m *Memory) LoadByte(addr uint32) (uint8, error) {
+	if err := m.check(addr, 1, false); err != nil {
+		return 0, err
+	}
+	m.Loads++
+	return m.bytes[addr], nil
+}
+
+// StoreWord writes a big-endian 32-bit word.
+func (m *Memory) StoreWord(addr uint32, v uint32) error {
+	if err := m.check(addr, 4, true); err != nil {
+		return err
+	}
+	m.Stores++
+	b := m.bytes[addr:]
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+	return nil
+}
+
+// StoreHalf writes a big-endian 16-bit halfword.
+func (m *Memory) StoreHalf(addr uint32, v uint16) error {
+	if err := m.check(addr, 2, true); err != nil {
+		return err
+	}
+	m.Stores++
+	b := m.bytes[addr:]
+	b[0], b[1] = byte(v>>8), byte(v)
+	return nil
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint32, v uint8) error {
+	if err := m.check(addr, 1, true); err != nil {
+		return err
+	}
+	m.Stores++
+	m.bytes[addr] = v
+	return nil
+}
+
+// FetchWord reads an instruction word. Fetches are not counted as data
+// loads.
+func (m *Memory) FetchWord(addr uint32) (uint32, error) {
+	if err := m.check(addr, 4, false); err != nil {
+		return 0, err
+	}
+	b := m.bytes[addr:]
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+}
+
+// LoadImage copies a byte image to base without touching the counters;
+// used by the program loader.
+func (m *Memory) LoadImage(base uint32, img []byte) error {
+	if uint64(base)+uint64(len(img)) > uint64(len(m.bytes)) {
+		return &AccessError{Addr: base, Size: len(img), Write: true, Why: "image out of range"}
+	}
+	copy(m.bytes[base:], img)
+	return nil
+}
+
+// ReadWords bulk-reads n words starting at base; used by benchmark output
+// extraction. It bypasses the access counters.
+func (m *Memory) ReadWords(base uint32, n int) ([]uint32, error) {
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		if err := m.check(base+uint32(4*i), 4, false); err != nil {
+			return nil, err
+		}
+		b := m.bytes[base+uint32(4*i):]
+		out[i] = uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	}
+	return out, nil
+}
+
+// WriteWords bulk-writes words starting at base, bypassing the counters;
+// used by benchmark input generators.
+func (m *Memory) WriteWords(base uint32, ws []uint32) error {
+	for i, w := range ws {
+		addr := base + uint32(4*i)
+		if uint64(addr)+4 > uint64(len(m.bytes)) || addr%4 != 0 {
+			return &AccessError{Addr: addr, Size: 4, Write: true, Why: "out of range or misaligned"}
+		}
+		b := m.bytes[addr:]
+		b[0], b[1], b[2], b[3] = byte(w>>24), byte(w>>16), byte(w>>8), byte(w)
+	}
+	return nil
+}

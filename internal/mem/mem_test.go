@@ -1,0 +1,146 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordRoundTrip(t *testing.T) {
+	m := New()
+	if err := m.StoreWord(0x40000, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.LoadWord(0x40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF {
+		t.Errorf("got %x", v)
+	}
+	// Big-endian layout.
+	b, err := m.LoadByte(0x40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0xDE {
+		t.Errorf("first byte %x, want DE (big-endian)", b)
+	}
+}
+
+func TestHalfAndByte(t *testing.T) {
+	m := New()
+	if err := m.StoreHalf(0x40002, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.LoadHalf(0x40002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0x1234 {
+		t.Errorf("half = %x", h)
+	}
+	if err := m.StoreByte(0x40005, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.LoadByte(0x40005)
+	if b != 0xAB {
+		t.Errorf("byte = %x", b)
+	}
+}
+
+func TestAlignmentTraps(t *testing.T) {
+	m := New()
+	if _, err := m.LoadWord(2); err == nil {
+		t.Errorf("misaligned word load must fail")
+	}
+	if err := m.StoreWord(3, 1); err == nil {
+		t.Errorf("misaligned word store must fail")
+	}
+	if _, err := m.LoadHalf(1); err == nil {
+		t.Errorf("misaligned half load must fail")
+	}
+	var ae *AccessError
+	_, err := m.LoadWord(6)
+	if !errors.As(err, &ae) {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Write || ae.Size != 4 {
+		t.Errorf("access error fields %+v", ae)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	m := New()
+	end := m.Size()
+	if _, err := m.LoadWord(end); err == nil {
+		t.Errorf("load at end must fail")
+	}
+	if _, err := m.LoadWord(end - 4); err != nil {
+		t.Errorf("last word should be accessible: %v", err)
+	}
+	if err := m.StoreWord(0xFFFFFFFC, 1); err == nil {
+		t.Errorf("store far out of range must fail")
+	}
+	// Overflow robustness.
+	if _, err := m.LoadWord(0xFFFFFFFE); err == nil {
+		t.Errorf("wrapping access must fail")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	m := New()
+	_ = m.StoreWord(0x40000, 1)
+	_, _ = m.LoadWord(0x40000)
+	_, _ = m.LoadByte(0x40000)
+	if m.Stores != 1 || m.Loads != 2 {
+		t.Errorf("counters loads=%d stores=%d", m.Loads, m.Stores)
+	}
+	// Fetch and image loads don't count.
+	_, _ = m.FetchWord(0x100)
+	_ = m.LoadImage(0x100, []byte{1, 2, 3, 4})
+	if m.Stores != 1 || m.Loads != 2 {
+		t.Errorf("fetch/image affected counters")
+	}
+	m.Reset()
+	if m.Loads != 0 || m.Stores != 0 {
+		t.Errorf("reset did not clear counters")
+	}
+}
+
+func TestBulkWords(t *testing.T) {
+	m := New()
+	in := []uint32{1, 2, 0xFFFFFFFF, 42}
+	if err := m.WriteWords(0x41000, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.ReadWords(0x41000, len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("word %d = %x, want %x", i, out[i], in[i])
+		}
+	}
+	if err := m.WriteWords(m.Size()-4, []uint32{1, 2}); err == nil {
+		t.Errorf("overflowing bulk write must fail")
+	}
+}
+
+// Property: a word store followed by a load returns the stored value for
+// any in-range aligned address.
+func TestStoreLoadProperty(t *testing.T) {
+	m := New()
+	f := func(addrRaw, v uint32) bool {
+		addr := (addrRaw % (m.Size() - 4)) &^ 3
+		if err := m.StoreWord(addr, v); err != nil {
+			return false
+		}
+		got, err := m.LoadWord(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package timing models the operating-condition dependence of circuit
+// delay: the supply-voltage/delay relationship (alpha-power law, fitted
+// from discrete characterization points like the paper's 0.6-1.0 V
+// library sweep), the cycle-by-cycle supply-voltage noise (clipped
+// Gaussian), and the empirical timing-error CDFs extracted by dynamic
+// timing analysis.
+package timing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// VRef is the reference supply voltage of the case study (volts); all
+// delay factors are relative to this operating point, where the paper's
+// core closes timing at 707 MHz.
+const VRef = 0.7
+
+// VddDelay is an alpha-power-law delay model: the gate delay at supply V
+// is proportional to (V - Vt)^-Alpha. The defaults (Vt = 0.30 V, Alpha =
+// 1.35) reproduce the paper's Fig. 1 anchors: with noise clipped at 2
+// sigma, the first fault injection of model B+ moves from the 707 MHz STA
+// limit down to 661 MHz for sigma = 10 mV and 588 MHz for sigma = 25 mV
+// (both within 0.5%).
+type VddDelay struct {
+	Vt    float64
+	Alpha float64
+}
+
+// DefaultVddDelay returns the calibrated 28 nm model.
+func DefaultVddDelay() VddDelay { return VddDelay{Vt: 0.30, Alpha: 1.35} }
+
+// Factor returns the delay multiplier at supply v relative to VRef.
+// Lower voltage means slower gates, so Factor(v) > 1 for v < VRef.
+func (m VddDelay) Factor(v float64) float64 {
+	if v <= m.Vt {
+		return math.Inf(1)
+	}
+	return math.Pow((VRef-m.Vt)/(v-m.Vt), m.Alpha)
+}
+
+// FactorRel returns the delay multiplier of v+dv relative to v, the
+// modulation applied per cycle for supply noise dv.
+func (m VddDelay) FactorRel(v, dv float64) float64 {
+	return m.Factor(v+dv) / m.Factor(v)
+}
+
+// EquivalentVoltage returns the supply below VRef at which the circuit is
+// slower by the given factor; it translates frequency-over-scaling
+// headroom into a voltage reduction for the paper's Fig. 7 power
+// trade-off (a headroom gain g at VRef is worth running at
+// EquivalentVoltage(g) at the nominal clock).
+func (m VddDelay) EquivalentVoltage(factor float64) float64 {
+	if factor <= 0 {
+		return math.NaN()
+	}
+	return m.Vt + (VRef-m.Vt)*math.Pow(factor, -1/m.Alpha)
+}
+
+// Point is one (voltage, delay) characterization sample.
+type Point struct {
+	V     float64
+	Delay float64
+}
+
+// FitAlphaPower fits an alpha-power law to characterization points by a
+// grid-plus-refinement search over Vt minimizing the log-space residual
+// of the implied linear fit. It reproduces the paper's flow of
+// interpolating a Vdd-delay curve from a 5-voltage library sweep.
+func FitAlphaPower(points []Point) (VddDelay, error) {
+	if len(points) < 3 {
+		return VddDelay{}, fmt.Errorf("timing: need at least 3 points, got %d", len(points))
+	}
+	minV := math.Inf(1)
+	for _, p := range points {
+		if p.V < minV {
+			minV = p.V
+		}
+		if p.Delay <= 0 {
+			return VddDelay{}, fmt.Errorf("timing: non-positive delay %v", p.Delay)
+		}
+	}
+	best := VddDelay{}
+	bestErr := math.Inf(1)
+	eval := func(vt float64) (float64, float64) {
+		// Linear regression of log(delay) on log(V - Vt); the slope is
+		// -alpha.
+		var sx, sy, sxx, sxy float64
+		n := float64(len(points))
+		for _, p := range points {
+			x := math.Log(p.V - vt)
+			y := math.Log(p.Delay)
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+		}
+		slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+		icept := (sy - slope*sx) / n
+		var resid float64
+		for _, p := range points {
+			pred := icept + slope*math.Log(p.V-vt)
+			d := pred - math.Log(p.Delay)
+			resid += d * d
+		}
+		return -slope, resid
+	}
+	lo, hi := 0.0, minV-1e-3
+	for pass := 0; pass < 4; pass++ {
+		step := (hi - lo) / 40
+		plo, phi := lo, hi
+		for vt := plo; vt <= phi; vt += step {
+			alpha, resid := eval(vt)
+			if resid < bestErr && alpha > 0 {
+				bestErr = resid
+				best = VddDelay{Vt: vt, Alpha: alpha}
+			}
+		}
+		lo = math.Max(0, best.Vt-step)
+		hi = math.Min(minV-1e-3, best.Vt+step)
+	}
+	if math.IsInf(bestErr, 1) {
+		return VddDelay{}, fmt.Errorf("timing: fit failed")
+	}
+	return best, nil
+}
+
+// Noise is the supply-voltage noise model: zero-mean Gaussian with
+// standard deviation Sigma (volts), saturated at Clip sigma as in the
+// paper (2 sigma) to exclude physically unrealistic spikes. A fresh
+// independent sample is drawn every clock cycle.
+type Noise struct {
+	Sigma float64
+	Clip  float64
+}
+
+// NewNoise returns the paper's noise model for a sigma given in volts.
+func NewNoise(sigma float64) Noise { return Noise{Sigma: sigma, Clip: 2} }
+
+// Sample draws one noise value (volts).
+func (n Noise) Sample(rng *rand.Rand) float64 {
+	return stats.ClippedNormal(rng, 0, n.Sigma, n.Clip)
+}
+
+// WorstDroop returns the largest negative excursion (volts, positive
+// magnitude), i.e. Clip*Sigma; the first-FI frequency of model B+ is set
+// by this saturation atom.
+func (n Noise) WorstDroop() float64 { return n.Clip * n.Sigma }
+
+// CDF is the empirical distribution of dynamic arrival times at one
+// endpoint for one instruction, extracted by DTA. Violation probability
+// at frequency f is the fraction of characterization cycles whose arrival
+// plus setup exceeds the clock period, as defined in Sec. 3.4 of the
+// paper (P = v_f / n_I).
+type CDF struct {
+	sorted  []float64 // arrival times in ps, ascending (0 = no toggle)
+	setupPs float64
+}
+
+// NewCDF builds a CDF from raw arrival samples (ps). The slice is copied.
+func NewCDF(arrivals []float64, setupPs float64) *CDF {
+	s := make([]float64, len(arrivals))
+	copy(s, arrivals)
+	sort.Float64s(s)
+	return &CDF{sorted: s, setupPs: setupPs}
+}
+
+// N returns the number of characterization cycles backing the CDF.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// MaxPs returns the largest observed arrival (ps).
+func (c *CDF) MaxPs() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// ViolationProb returns P(arrival + setup > period) for a period in ps.
+func (c *CDF) ViolationProb(periodPs float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Count samples with arrival > period - setup.
+	x := periodPs - c.setupPs
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(len(c.sorted)-i) / float64(len(c.sorted))
+}
+
+// ViolationProbScaled evaluates the CDF with all circuit delays (arrival
+// and setup) stretched by the given factor, the per-cycle "CDF
+// scaling-factor" of the paper's model C that folds in supply noise.
+func (c *CDF) ViolationProbScaled(periodPs, factor float64) float64 {
+	return c.ViolationProb(periodPs / factor)
+}
+
+// OnsetMHz returns the highest frequency at which the violation
+// probability is still zero (the extreme point of the characterized
+// distribution). Above it, this endpoint begins to see faults.
+func (c *CDF) OnsetMHz() float64 {
+	m := c.MaxPs()
+	if m <= 0 {
+		return math.Inf(1)
+	}
+	return 1e6 / (m + c.setupPs)
+}

@@ -1,0 +1,194 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestFactorAnchorsPaperNumbers(t *testing.T) {
+	m := DefaultVddDelay()
+	// The paper's Fig. 1: with noise clipped at 2 sigma, first FI moves
+	// from 707 MHz to 661 MHz (sigma = 10 mV) and 588 MHz (25 mV).
+	cases := []struct {
+		droop     float64
+		wantedMHz float64
+	}{
+		{0.020, 661},
+		{0.050, 588},
+	}
+	for _, c := range cases {
+		m1 := m.FactorRel(VRef, -c.droop)
+		got := 707 / m1
+		if math.Abs(got-c.wantedMHz) > 0.005*c.wantedMHz {
+			t.Errorf("first FI for droop %v V: %v MHz, want about %v (0.5%%)",
+				c.droop, got, c.wantedMHz)
+		}
+	}
+}
+
+func TestFactorProperties(t *testing.T) {
+	m := DefaultVddDelay()
+	if f := m.Factor(VRef); math.Abs(f-1) > 1e-12 {
+		t.Errorf("Factor(VRef) = %v, want 1", f)
+	}
+	if m.Factor(0.6) <= 1 {
+		t.Errorf("lower voltage must be slower")
+	}
+	if m.Factor(0.8) >= 1 {
+		t.Errorf("higher voltage must be faster")
+	}
+	if !math.IsInf(m.Factor(m.Vt), 1) {
+		t.Errorf("Factor at threshold must diverge")
+	}
+	// Monotone decreasing in V.
+	prev := math.Inf(1)
+	for v := 0.35; v <= 1.2; v += 0.01 {
+		f := m.Factor(v)
+		if f >= prev {
+			t.Fatalf("Factor not strictly decreasing at %v", v)
+		}
+		prev = f
+	}
+}
+
+func TestEquivalentVoltageInvertsFactor(t *testing.T) {
+	m := DefaultVddDelay()
+	for _, g := range []float64{1.0, 1.05, 1.114, 1.3} {
+		v := m.EquivalentVoltage(g)
+		if math.Abs(m.Factor(v)-g) > 1e-9 {
+			t.Errorf("EquivalentVoltage(%v) = %v does not invert (factor %v)",
+				g, v, m.Factor(v))
+		}
+	}
+	// The paper's Fig. 7 landmark: an 11.4% frequency gain is worth
+	// running at about 0.667 V.
+	v := m.EquivalentVoltage(1.114)
+	if math.Abs(v-0.667) > 0.003 {
+		t.Errorf("equivalent voltage for 11.4%% gain = %v, want about 0.667", v)
+	}
+}
+
+func TestFitAlphaPowerRecoversModel(t *testing.T) {
+	truth := VddDelay{Vt: 0.30, Alpha: 1.35}
+	var pts []Point
+	for _, v := range []float64{0.6, 0.7, 0.8, 0.9, 1.0} {
+		pts = append(pts, Point{V: v, Delay: 1414 * truth.Factor(v)})
+	}
+	got, err := FitAlphaPower(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Vt-truth.Vt) > 0.01 || math.Abs(got.Alpha-truth.Alpha) > 0.05 {
+		t.Errorf("fit = %+v, want %+v", got, truth)
+	}
+	// And the fitted model predicts held-out voltages well.
+	for _, v := range []float64{0.65, 0.75} {
+		p, q := got.Factor(v), truth.Factor(v)
+		if math.Abs(p-q)/q > 0.01 {
+			t.Errorf("fit prediction at %v: %v vs %v", v, p, q)
+		}
+	}
+}
+
+func TestFitAlphaPowerErrors(t *testing.T) {
+	if _, err := FitAlphaPower([]Point{{0.6, 1}, {0.7, 2}}); err == nil {
+		t.Errorf("too few points must error")
+	}
+	if _, err := FitAlphaPower([]Point{{0.6, 1}, {0.7, -2}, {0.8, 1}}); err == nil {
+		t.Errorf("negative delay must error")
+	}
+}
+
+func TestNoise(t *testing.T) {
+	n := NewNoise(0.010)
+	if n.WorstDroop() != 0.020 {
+		t.Errorf("worst droop = %v", n.WorstDroop())
+	}
+	rng := stats.NewRand(3)
+	for i := 0; i < 10000; i++ {
+		dv := n.Sample(rng)
+		if math.Abs(dv) > 0.020+1e-15 {
+			t.Fatalf("noise %v beyond clip", dv)
+		}
+	}
+	z := NewNoise(0)
+	if z.Sample(rng) != 0 {
+		t.Errorf("zero-sigma noise must be zero")
+	}
+}
+
+func TestCDFViolationProb(t *testing.T) {
+	// Arrivals 100..1000 ps, setup 30.
+	arr := []float64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	c := NewCDF(arr, 30)
+	if got := c.ViolationProb(2000); got != 0 {
+		t.Errorf("long period: prob %v, want 0", got)
+	}
+	if got := c.ViolationProb(50); got != 1 {
+		t.Errorf("tiny period: prob %v, want 1", got)
+	}
+	// Period 530: violation iff arr > 500, i.e. 5 of 10 samples.
+	if got := c.ViolationProb(530); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("prob at 530 = %v, want 0.5", got)
+	}
+	// Boundary: arr + setup == period is NOT a violation.
+	if got := c.ViolationProb(1030); got != 0 {
+		t.Errorf("boundary arrival counted as violation: %v", got)
+	}
+	if got := c.MaxPs(); got != 1000 {
+		t.Errorf("MaxPs = %v", got)
+	}
+	onset := c.OnsetMHz()
+	if math.Abs(onset-1e6/1030) > 1e-9 {
+		t.Errorf("onset = %v", onset)
+	}
+	if got := c.ViolationProb(circuitPeriod(onset) * 0.999); got == 0 {
+		t.Errorf("just above onset must violate")
+	}
+}
+
+func circuitPeriod(fMHz float64) float64 { return 1e6 / fMHz }
+
+func TestCDFScaledEquivalence(t *testing.T) {
+	arr := []float64{100, 400, 900}
+	c := NewCDF(arr, 30)
+	// Scaling all delays by m is the same as shrinking the period by m.
+	f := func(periodRaw, mRaw uint16) bool {
+		period := 100 + float64(periodRaw%2000)
+		m := 0.8 + float64(mRaw%100)/250 // 0.8 .. 1.2
+		return c.ViolationProbScaled(period, m) == c.ViolationProb(period/m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: violation probability is monotone non-increasing in period
+// and non-decreasing in the scale factor.
+func TestCDFMonotoneProperty(t *testing.T) {
+	arr := []float64{50, 150, 250, 350, 800, 1200}
+	c := NewCDF(arr, 25)
+	f := func(p1, p2 uint16) bool {
+		a, b := float64(p1%3000), float64(p2%3000)
+		if a > b {
+			a, b = b, a
+		}
+		return c.ViolationProb(a) >= c.ViolationProb(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil, 30)
+	if c.ViolationProb(100) != 0 || c.MaxPs() != 0 {
+		t.Errorf("empty CDF must never violate")
+	}
+	if !math.IsInf(c.OnsetMHz(), 1) {
+		t.Errorf("empty CDF onset must be +inf")
+	}
+}
