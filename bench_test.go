@@ -183,6 +183,63 @@ func BenchmarkAblationInstrAware(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Sweep-engine benches: the multi-frequency sweep through the shared
+// worker pool with cached models (BenchmarkSweepEngine) against the
+// original point-at-a-time path that rebuilds the model per point
+// (BenchmarkSweepSerial). Many frequencies with few trials each is the
+// engine's best case: the serial path can use at most trials-per-point
+// cores between barriers, the engine keeps every core busy across the
+// whole sweep.
+
+func sweepBenchInputs() (mc.Spec, []float64) {
+	spec := mc.Spec{
+		System: benchSystem(),
+		Bench:  bench.Median(),
+		Model:  core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010},
+		Trials: 4,
+		Seed:   1,
+	}
+	var freqs []float64
+	for f := 690.0; f <= 910; f += 20 {
+		freqs = append(freqs, f)
+	}
+	return spec, freqs
+}
+
+func BenchmarkSweepEngine(b *testing.B) {
+	spec, freqs := sweepBenchInputs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Sweep(spec, freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B) {
+	spec, freqs := sweepBenchInputs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.SweepSerial(spec, freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepAdaptive runs the same sweep under adaptive trial
+// allocation: clean and hopeless points stop at the Wilson decision,
+// boundary points run to the budget.
+func BenchmarkSweepAdaptive(b *testing.B) {
+	spec, freqs := sweepBenchInputs()
+	spec.Trials = 0
+	spec.TrialsMin = 4
+	spec.TrialsMax = 32
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Sweep(spec, freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkISS measures raw simulator throughput (cycles/sec) on the
 // dijkstra kernel without fault injection.
 func BenchmarkISS(b *testing.B) {

@@ -15,6 +15,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/mc"
+	"repro/internal/progress"
 )
 
 func main() {
@@ -24,14 +26,29 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "trial-count / resolution scale (1 = paper fidelity)")
 	seed := flag.Int64("seed", 1, "master random seed")
 	dtaCycles := flag.Int("dta", 8192, "DTA characterization kernel cycles per instruction")
+	quiet := flag.Bool("q", false, "suppress the stderr progress line")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.DTA.Cycles = *dtaCycles
 	sys := core.New(cfg)
-	o := experiments.Options{System: sys, Out: os.Stdout, Scale: *scale, Seed: *seed}
+	var rep *progress.Reporter
+	if !*quiet {
+		rep = progress.New(os.Stderr, "paperrepro")
+	}
+	o := experiments.Options{System: sys, Out: os.Stdout, Scale: *scale, Seed: *seed,
+		Progress: func(p mc.Progress) {
+			rep.Update(p.DoneTrials, p.TotalTrials)
+			// Terminate the line at the end of each sweep so the
+			// figure's stdout tables start on a clean line.
+			if p.DoneTrials == p.TotalTrials && p.DonePoints == p.TotalPoints {
+				rep.Finish()
+			}
+		}}
 
 	run := func(name string) error {
+		rep.SetLabel(name)
+		defer rep.Finish()
 		fmt.Printf("==== %s ====\n", name)
 		switch name {
 		case "table1":

@@ -1,18 +1,23 @@
 // Command sweep runs a benchmark under a fault model across a frequency
 // range and prints the four application metrics per point, including the
-// point of first failure and its gain over the STA limit.
+// point of first failure and its gain over the STA limit. The whole
+// sweep runs through the shared worker pool of the mc engine, with a
+// progress/ETA line on stderr.
 //
 //	sweep -bench kmeans -model C -vdd 0.7 -sigma 0.010 -lo 680 -hi 950 -step 10
+//	sweep -bench median -model C -vdd 0.7 -trials-min 25 -trials-max 400
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/mc"
+	"repro/internal/progress"
 )
 
 func main() {
@@ -25,11 +30,18 @@ func main() {
 	lo := flag.Float64("lo", 650, "sweep start in MHz")
 	hi := flag.Float64("hi", 1100, "sweep end in MHz")
 	step := flag.Float64("step", 25, "sweep step in MHz")
-	trials := flag.Int("trials", 100, "Monte-Carlo trials per point")
+	trials := flag.Int("trials", 100, "Monte-Carlo trials per point (fixed mode)")
+	trialsMin := flag.Int("trials-min", 0, "adaptive mode: first batch size (with -trials-max)")
+	trialsMax := flag.Int("trials-max", 0, "adaptive mode: trial budget per point (0 = fixed -trials)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
 	dtaCycles := flag.Int("dta", 8192, "DTA characterization cycles")
+	quiet := flag.Bool("q", false, "suppress the stderr progress line")
 	flag.Parse()
 
+	if *trialsMin > 0 && *trialsMax <= 0 {
+		log.Fatal("-trials-min has no effect without -trials-max (adaptive mode)")
+	}
 	b, err := bench.ByName(*name)
 	if err != nil {
 		log.Fatal(err)
@@ -37,27 +49,42 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.DTA.Cycles = *dtaCycles
 	sys := core.New(cfg)
+
+	var rep *progress.Reporter
+	if !*quiet {
+		rep = progress.New(os.Stderr, "sweep")
+	}
 	spec := mc.Spec{
-		System: sys,
-		Bench:  b,
-		Model:  core.ModelSpec{Kind: *model, Vdd: *vdd, Sigma: *sigma},
-		Trials: *trials,
-		Seed:   *seed,
+		System:    sys,
+		Bench:     b,
+		Model:     core.ModelSpec{Kind: *model, Vdd: *vdd, Sigma: *sigma},
+		Trials:    *trials,
+		TrialsMin: *trialsMin,
+		TrialsMax: *trialsMax,
+		Seed:      *seed,
+		Workers:   *workers,
+		Progress: func(p mc.Progress) {
+			rep.Update(p.DoneTrials, p.TotalTrials)
+		},
 	}
 	var freqs []float64
 	for f := *lo; f <= *hi; f += *step {
 		freqs = append(freqs, f)
 	}
-	fmt.Printf("%8s %9s %9s %12s %14s\n", "f[MHz]", "finished", "correct", "FI/kCycle", b.MetricName)
-	var pts []mc.Point
-	for _, f := range freqs {
-		p, err := mc.Run(spec, f)
-		if err != nil {
-			log.Fatal(err)
+	pts, err := mc.Sweep(spec, freqs)
+	rep.Finish()
+	if len(pts) > 0 {
+		fmt.Printf("%8s %7s %9s %9s %12s %14s\n",
+			"f[MHz]", "trials", "finished", "correct", "FI/kCycle", b.MetricName)
+		for _, p := range pts {
+			fmt.Printf("%8.1f %7d %8.1f%% %8.1f%% %12.4f %14.6g\n",
+				p.FreqMHz, p.Trials, p.FinishedPct, p.CorrectPct, p.FIRate, p.OutputErr)
 		}
-		pts = append(pts, p)
-		fmt.Printf("%8.1f %8.1f%% %8.1f%% %12.4f %14.6g\n",
-			p.FreqMHz, p.FinishedPct, p.CorrectPct, p.FIRate, p.OutputErr)
+	}
+	if err != nil {
+		// A sweep crossing an invalid operating point still reports the
+		// points of the valid prefix before failing.
+		log.Fatal(err)
 	}
 	sta := sys.STALimitMHz(*vdd)
 	if poff, ok := mc.PoFF(pts); ok {

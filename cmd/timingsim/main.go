@@ -8,11 +8,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/fi"
 	"repro/internal/mc"
+	"repro/internal/progress"
 )
 
 func main() {
@@ -24,13 +26,19 @@ func main() {
 	vdd := flag.Float64("vdd", 0.7, "supply voltage in V")
 	sigma := flag.Float64("sigma", 0, "supply noise sigma in V")
 	probA := flag.Float64("probA", 1e-6, "model A per-endpoint flip probability")
-	trials := flag.Int("trials", 100, "Monte-Carlo trials")
+	trials := flag.Int("trials", 100, "Monte-Carlo trials (fixed mode)")
+	trialsMin := flag.Int("trials-min", 0, "adaptive mode: first batch size (with -trials-max)")
+	trialsMax := flag.Int("trials-max", 0, "adaptive mode: trial budget (0 = fixed -trials)")
 	seed := flag.Int64("seed", 1, "random seed")
 	dtaCycles := flag.Int("dta", 8192, "DTA characterization cycles")
 	stale := flag.Bool("stale", false, "use stale-capture fault semantics")
 	joint := flag.Bool("joint", false, "use joint (bootstrap) endpoint sampling for model C")
+	quiet := flag.Bool("q", false, "suppress the stderr progress line")
 	flag.Parse()
 
+	if *trialsMin > 0 && *trialsMax <= 0 {
+		log.Fatal("-trials-min has no effect without -trials-max (adaptive mode)")
+	}
 	b, err := bench.ByName(*name)
 	if err != nil {
 		log.Fatal(err)
@@ -47,6 +55,10 @@ func main() {
 	if *joint {
 		sampling = fi.Joint
 	}
+	var rep *progress.Reporter
+	if !*quiet {
+		rep = progress.New(os.Stderr, "timingsim")
+	}
 	spec := mc.Spec{
 		System: sys,
 		Bench:  b,
@@ -54,10 +66,16 @@ func main() {
 			Kind: *model, Vdd: *vdd, Sigma: *sigma, ProbA: *probA,
 			Sem: sem, Sampling: sampling,
 		},
-		Trials: *trials,
-		Seed:   *seed,
+		Trials:    *trials,
+		TrialsMin: *trialsMin,
+		TrialsMax: *trialsMax,
+		Seed:      *seed,
+		Progress: func(p mc.Progress) {
+			rep.Update(p.DoneTrials, p.TotalTrials)
+		},
 	}
 	pt, err := mc.Run(spec, *freq)
+	rep.Finish()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,87 @@
+package repro_test
+
+import (
+	"fmt"
+
+	repro "repro"
+)
+
+// exampleSystem builds a system with a tiny DTA characterization so the
+// examples run in milliseconds; real studies use DefaultConfig as-is.
+func exampleSystem() *repro.System {
+	cfg := repro.DefaultConfig()
+	cfg.DTA.Cycles = 256
+	return repro.NewSystem(cfg)
+}
+
+// ExampleRun evaluates a single Monte-Carlo data point: the median
+// kernel without fault injection, which must finish bit-exact.
+func ExampleRun() {
+	sys := exampleSystem()
+	b, err := repro.BenchmarkByName("median")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	pt, err := repro.Run(repro.Spec{
+		System: sys,
+		Bench:  b,
+		Model:  repro.ModelSpec{Kind: "none"},
+		Trials: 4,
+		Seed:   1,
+	}, 700)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("finished %.0f%%, correct %.0f%%, FI rate %.0f\n",
+		pt.FinishedPct, pt.CorrectPct, pt.FIRate)
+	// Output:
+	// finished 100%, correct 100%, FI rate 0
+}
+
+// ExampleSweep runs the same configuration over a frequency list; the
+// sweep engine schedules every (frequency, trial) pair onto one shared
+// worker pool, and fixed seeds make the result reproducible.
+func ExampleSweep() {
+	sys := exampleSystem()
+	b, err := repro.BenchmarkByName("median")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	pts, err := repro.Sweep(repro.Spec{
+		System: sys,
+		Bench:  b,
+		Model:  repro.ModelSpec{Kind: "none"},
+		Trials: 2,
+		Seed:   1,
+	}, []float64{650, 700})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, p := range pts {
+		fmt.Printf("%.0f MHz: correct %.0f%% (%d trials)\n", p.FreqMHz, p.CorrectPct, p.Trials)
+	}
+	// Output:
+	// 650 MHz: correct 100% (2 trials)
+	// 700 MHz: correct 100% (2 trials)
+}
+
+// ExamplePoFF locates the point of first failure — the lowest frequency
+// whose data point is no longer 100% correct — in an already-evaluated
+// sweep.
+func ExamplePoFF() {
+	pts := []repro.Point{
+		{FreqMHz: 700, CorrectPct: 100},
+		{FreqMHz: 750, CorrectPct: 100},
+		{FreqMHz: 800, CorrectPct: 97},
+		{FreqMHz: 850, CorrectPct: 12},
+	}
+	if poff, ok := repro.PoFF(pts); ok {
+		fmt.Printf("PoFF at %.0f MHz\n", poff)
+	}
+	// Output:
+	// PoFF at 800 MHz
+}

@@ -37,10 +37,15 @@ type (
 	ModelSpec = core.ModelSpec
 	// Benchmark is one workload with golden model and error metric.
 	Benchmark = bench.Benchmark
-	// Spec describes a Monte-Carlo experiment configuration.
+	// Spec describes a Monte-Carlo experiment configuration, including
+	// adaptive trial allocation (TrialsMin/TrialsMax) and an optional
+	// Progress callback.
 	Spec = mc.Spec
 	// Point is one aggregated (configuration, frequency) data point.
 	Point = mc.Point
+	// Progress is a sweep-engine progress snapshot delivered to
+	// Spec.Progress after every completed trial.
+	Progress = mc.Progress
 	// Profile overrides DTA operand generators per ALU unit.
 	Profile = dta.Profile
 )
@@ -69,7 +74,10 @@ func BenchmarkByName(name string) (*Benchmark, error) { return bench.ByName(name
 // Run evaluates one Monte-Carlo data point at the given frequency (MHz).
 func Run(spec Spec, fMHz float64) (Point, error) { return mc.Run(spec, fMHz) }
 
-// Sweep evaluates a configuration over a frequency list.
+// Sweep evaluates a configuration over a frequency list. All
+// (frequency, trial) work items of the sweep share one worker pool and
+// one cached model per operating point, and results are bit-identical
+// to evaluating each frequency on its own for a fixed Spec.Seed.
 func Sweep(spec Spec, freqs []float64) ([]Point, error) { return mc.Sweep(spec, freqs) }
 
 // PoFF locates the point of first failure in a sweep.

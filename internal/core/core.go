@@ -7,6 +7,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/cpu"
@@ -42,22 +45,27 @@ func DefaultConfig() Config {
 	}
 }
 
-// System is one instantiated simulation stack. It is immutable after
-// construction and safe for concurrent use (characterizations cache
-// internally).
+// System is one instantiated simulation stack. Its configuration is
+// immutable after construction and it is safe for concurrent use:
+// characterizations cache inside Char and instantiated fault models
+// cache inside the system itself (see Model).
 type System struct {
 	Cfg  Config
 	ALU  *circuit.ALU
 	Char *dta.Characterizer
+
+	modelMu sync.Mutex
+	models  map[modelKey]fi.Model
 }
 
 // New builds and calibrates a system.
 func New(cfg Config) *System {
 	alu := circuit.New(cfg.Circuit)
 	return &System{
-		Cfg:  cfg,
-		ALU:  alu,
-		Char: dta.NewCharacterizer(alu, cfg.Vdd, cfg.DTA),
+		Cfg:    cfg,
+		ALU:    alu,
+		Char:   dta.NewCharacterizer(alu, cfg.Vdd, cfg.DTA),
+		models: map[modelKey]fi.Model{},
 	}
 }
 
@@ -91,9 +99,87 @@ type ModelSpec struct {
 	Sampling fi.Sampling
 }
 
-// Model instantiates the spec against this system. Operating points
-// beyond the non-ALU safe limit are rejected for the timing-based models.
+// modelKey is the cache key for instantiated models. Profile (a map) is
+// folded into a canonical string so the key is comparable.
+type modelKey struct {
+	Kind     string
+	Vdd      float64
+	FreqMHz  float64
+	Sigma    float64
+	ProbA    float64
+	Profile  string
+	Sem      fi.Semantics
+	Sampling fi.Sampling
+}
+
+// profileString canonically encodes a Profile (sorted by unit) so that
+// equal profiles hash to the same model cache entry.
+func profileString(p dta.Profile) string {
+	if len(p) == 0 {
+		return ""
+	}
+	units := make([]int, 0, len(p))
+	for u := range p {
+		units = append(units, int(u))
+	}
+	sort.Ints(units)
+	var b strings.Builder
+	for _, u := range units {
+		fmt.Fprintf(&b, "%d=%s;", u, p[circuit.UnitKind(u)])
+	}
+	return b.String()
+}
+
+func (spec ModelSpec) key() modelKey {
+	return modelKey{
+		Kind:     spec.Kind,
+		Vdd:      spec.Vdd,
+		FreqMHz:  spec.FreqMHz,
+		Sigma:    spec.Sigma,
+		ProbA:    spec.ProbA,
+		Profile:  profileString(spec.Profile),
+		Sem:      spec.Sem,
+		Sampling: spec.Sampling,
+	}
+}
+
+// Model instantiates the spec against this system, reusing a cached
+// instance when the same spec was built before. Models are immutable and
+// shareable, and building one (especially model C, which pulls DTA
+// characterizations for every ALU op) is far more expensive than a
+// lookup, so sweeps and the experiment runners hit this cache once per
+// (config, model, profile) instead of once per data point. Errors are
+// not cached. Callers must not mutate spec.Profile after the call.
 func (s *System) Model(spec ModelSpec) (fi.Model, error) {
+	k := spec.key()
+	s.modelMu.Lock()
+	m, ok := s.models[k]
+	s.modelMu.Unlock()
+	if ok {
+		return m, nil
+	}
+	m, err := s.NewModel(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.modelMu.Lock()
+	// Another goroutine may have raced us here; keep the first instance
+	// so repeated lookups stay pointer-identical.
+	if prev, ok := s.models[k]; ok {
+		m = prev
+	} else {
+		s.models[k] = m
+	}
+	s.modelMu.Unlock()
+	return m, nil
+}
+
+// NewModel instantiates the spec against this system without consulting
+// the model cache. It is the original uncached construction path, kept
+// for benchmarks and determinism tests that compare against per-point
+// rebuilding. Operating points beyond the non-ALU safe limit are
+// rejected for the timing-based models.
+func (s *System) NewModel(spec ModelSpec) (fi.Model, error) {
 	switch spec.Kind {
 	case "", "none":
 		return fi.NullModel{}, nil

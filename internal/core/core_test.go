@@ -74,6 +74,83 @@ func TestModelFactory(t *testing.T) {
 	}
 }
 
+// TestModelCache checks that Model reuses instances per spec while
+// NewModel always rebuilds, and that distinct specs get distinct
+// entries.
+func TestModelCache(t *testing.T) {
+	s := system()
+	spec := ModelSpec{Kind: "C", Vdd: 0.7, FreqMHz: 800, Sigma: 0.01}
+	a, err := s.Model(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Model(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same spec produced distinct model instances")
+	}
+	c, err := s.Model(ModelSpec{Kind: "C", Vdd: 0.7, FreqMHz: 810, Sigma: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Errorf("different frequencies shared one cache entry")
+	}
+	fresh, err := s.NewModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == a {
+		t.Errorf("NewModel returned the cached instance")
+	}
+	// Equal profiles must hit the same entry regardless of map identity.
+	p1 := dta.Profile{0: "u16"}
+	p2 := dta.Profile{0: "u16"}
+	m1, err := s.Model(ModelSpec{Kind: "C", Vdd: 0.7, FreqMHz: 800, Profile: p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.Model(ModelSpec{Kind: "C", Vdd: 0.7, FreqMHz: 800, Profile: p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Errorf("equal profiles missed the cache")
+	}
+	if m1 == a {
+		t.Errorf("profiled spec shared the unprofiled entry")
+	}
+}
+
+// TestModelCacheConcurrent hammers one spec from many goroutines; the
+// race detector guards the locking and every caller must observe the
+// same instance.
+func TestModelCacheConcurrent(t *testing.T) {
+	s := system()
+	spec := ModelSpec{Kind: "B+", Vdd: 0.7, FreqMHz: 790, Sigma: 0.01}
+	const n = 16
+	models := make([]interface{}, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := s.Model(spec)
+			if err == nil {
+				models[i] = m
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if models[i] != models[0] {
+			t.Fatalf("goroutine %d observed a different instance", i)
+		}
+	}
+}
+
 func TestDefaultsAreThePaper(t *testing.T) {
 	cfg := DefaultConfig()
 	if cfg.Circuit.STAFreqMHz != 707 {

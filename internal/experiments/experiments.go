@@ -51,6 +51,9 @@ type Options struct {
 	Out    io.Writer
 	Seed   int64
 	Scale  float64
+	// Progress, when non-nil, receives sweep-engine progress snapshots
+	// from every Monte-Carlo run a figure performs (see mc.Spec.Progress).
+	Progress func(mc.Progress)
 }
 
 func (o Options) withDefaults() Options {
@@ -87,11 +90,12 @@ func (o Options) freqs(lo, hi, step float64) []float64 {
 
 func (o Options) spec(b *bench.Benchmark, model core.ModelSpec, fullTrials int) mc.Spec {
 	return mc.Spec{
-		System: o.System,
-		Bench:  b,
-		Model:  model,
-		Trials: o.trials(fullTrials),
-		Seed:   o.Seed,
+		System:   o.System,
+		Bench:    b,
+		Model:    model,
+		Trials:   o.trials(fullTrials),
+		Seed:     o.Seed,
+		Progress: o.Progress,
 	}
 }
 

@@ -5,6 +5,25 @@
 // metrics: probability to finish, probability to be correct, fault
 // injection rate (FIs per kCycle of kernel execution), and output error
 // of the runs that finished.
+//
+// Sweeps run on a sweep-level scheduler: every (frequency, trial) pair
+// of the whole sweep is a work item drawn from one shared worker pool,
+// so a multi-frequency sweep saturates all cores even when individual
+// points have few trials left. Fault models are built once per spec via
+// the core.System model cache and shared across points. Because each
+// trial derives its RNG from SubSeed(Seed, trial) and results are
+// aggregated in trial-index order, the schedule has no effect on the
+// numbers: Sweep is bit-identical to the point-serial reference path
+// (SweepSerial) for a fixed seed.
+//
+// Optionally, trial allocation is adaptive (TrialsMin/TrialsMax): a
+// point starts with TrialsMin trials and grows in TrialsMin batches
+// until the Wilson confidence interval on its correct proportion either
+// clears or excludes 100% - CorrectEps, or TrialsMax is reached. Points
+// that are obviously clean or obviously broken stop early; the trial
+// budget concentrates on the decision boundary around the point of
+// first failure. Batch boundaries are fixed in trial-index order, so
+// adaptive results are also schedule-independent.
 package mc
 
 import (
@@ -16,6 +35,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/fi"
 	"repro/internal/mem"
 	"repro/internal/stats"
 )
@@ -28,8 +48,22 @@ type Spec struct {
 	System *core.System
 	Bench  *bench.Benchmark
 	Model  core.ModelSpec // FreqMHz is overridden per point
-	// Trials per data point (default 100).
+	// Trials per data point (default 100). Ignored when TrialsMax
+	// enables adaptive allocation.
 	Trials int
+	// TrialsMax > 0 enables adaptive trial allocation: each point runs
+	// batches of TrialsMin trials (default 25) until the Wilson interval
+	// on its correct proportion decides the point is clearly at or
+	// clearly below 100% correct, or TrialsMax trials have run.
+	TrialsMin int
+	TrialsMax int
+	// WilsonZ is the normal quantile of the adaptive decision interval
+	// (default stats.WilsonZ95).
+	WilsonZ float64
+	// CorrectEps is the adaptive decision margin as a proportion
+	// (default 0.05): a point stops once its correct-proportion interval
+	// lies entirely above or entirely below 1 - CorrectEps.
+	CorrectEps float64
 	// Seed drives all trial randomness (noise, injection, per-trial
 	// operands); every (seed, trial index) pair is reproducible.
 	Seed int64
@@ -41,11 +75,31 @@ type Spec struct {
 	WatchdogFactor float64
 	// Workers limits parallelism (default NumCPU).
 	Workers int
+	// Progress, when non-nil, receives a snapshot after every completed
+	// trial. Calls are serialized and in snapshot order (the engine
+	// holds its scheduling lock while calling), so the callback must be
+	// cheap and must not block on the sweep; wrap a progress.Reporter
+	// for throttled terminal output.
+	Progress func(Progress)
 }
 
 func (s Spec) withDefaults() Spec {
 	if s.Trials <= 0 {
 		s.Trials = 100
+	}
+	if s.TrialsMax > 0 {
+		if s.TrialsMin <= 0 {
+			s.TrialsMin = 25
+		}
+		if s.TrialsMin > s.TrialsMax {
+			s.TrialsMin = s.TrialsMax
+		}
+	}
+	if s.WilsonZ <= 0 {
+		s.WilsonZ = stats.WilsonZ95
+	}
+	if s.CorrectEps <= 0 {
+		s.CorrectEps = 0.05
 	}
 	if s.WatchdogFactor <= 0 {
 		s.WatchdogFactor = 4
@@ -59,10 +113,23 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// adaptive reports whether the spec (after withDefaults) uses adaptive
+// trial allocation.
+func (s Spec) adaptive() bool { return s.TrialsMax > 0 }
+
+// Progress is a snapshot of sweep-engine progress. Trial totals grow
+// while adaptive points extend their budgets.
+type Progress struct {
+	DoneTrials  int
+	TotalTrials int
+	DonePoints  int
+	TotalPoints int
+}
+
 // Point aggregates one (configuration, frequency) data point.
 type Point struct {
 	FreqMHz      float64
-	Trials       int
+	Trials       int     // trials actually run (varies under adaptive allocation)
 	FinishedPct  float64 // runs that exited cleanly
 	CorrectPct   float64 // runs with bit-exact output
 	FIRate       float64 // endpoint violations per kernel kCycle (all runs)
@@ -103,15 +170,402 @@ func goldenRun(s Spec, seed int64) (*asm.Program, []uint32, uint64, error) {
 	return p, want, c.Cycles, nil
 }
 
-// Run evaluates one data point at the given frequency.
+// trialResult is one trial's raw outcome, indexed by trial number so
+// aggregation order is independent of completion order.
+type trialResult struct {
+	finished, correct bool
+	fiBits            uint64
+	kernelCycles      uint64
+	metric            float64
+	err               error
+}
+
+// pointState tracks one frequency's trials inside the engine. next,
+// completed, target and done are guarded by the engine mutex.
+type pointState struct {
+	freqMHz float64
+	model   fi.Model
+	results []trialResult
+	next      int  // next trial index to hand out
+	completed int  // trials finished
+	target    int  // current decision horizon (batch end)
+	done      bool // no further trials will be scheduled
+}
+
+// engine is the sweep-level scheduler: one shared pool of workers pulls
+// (point, trial) items across all points of a sweep, and adaptive
+// points extend their own targets at batch boundaries.
+type engine struct {
+	s        Spec
+	prog     *asm.Program // shared golden program (nil when PerTrialInputs)
+	want     []uint32
+	watchdog uint64
+	pts      []*pointState
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	err         error
+	doneTrials  int
+	totalTrials int
+	donePoints  int
+}
+
+// buildModels resolves one cached model per frequency. On an invalid
+// operating point it returns the models of the valid prefix together
+// with the offending frequency's error.
+func buildModels(s Spec, freqs []float64) ([]fi.Model, error) {
+	models := make([]fi.Model, 0, len(freqs))
+	for _, f := range freqs {
+		ms := s.Model
+		ms.FreqMHz = f
+		if ms.Profile == nil {
+			ms.Profile = s.Bench.Profile
+		}
+		model, err := s.System.Model(ms)
+		if err != nil {
+			return models, err
+		}
+		models = append(models, model)
+	}
+	return models, nil
+}
+
+func newEngine(s Spec, freqs []float64, models []fi.Model) (*engine, error) {
+	e := &engine{s: s}
+	e.cond = sync.NewCond(&e.mu)
+
+	// One golden run per sweep: neither the program nor the watchdog
+	// depends on frequency. PerTrialInputs benchmarks rebuild inputs per
+	// trial and use the golden run only to size the watchdog.
+	prog, want, goldenCycles, err := goldenRun(s, s.InputSeed)
+	if err != nil {
+		return nil, err
+	}
+	if !s.Bench.PerTrialInputs {
+		e.prog, e.want = prog, want
+	}
+	e.watchdog = uint64(float64(goldenCycles) * s.WatchdogFactor)
+
+	maxTrials := s.Trials
+	initial := s.Trials
+	if s.adaptive() {
+		maxTrials = s.TrialsMax
+		initial = s.TrialsMin
+	}
+	for i, f := range freqs {
+		e.pts = append(e.pts, &pointState{
+			freqMHz: f,
+			model:   models[i],
+			results: make([]trialResult, maxTrials),
+			target:  initial,
+		})
+		e.totalTrials += initial
+	}
+	return e, nil
+}
+
+// take hands out the next (point, trial) work item, blocking while all
+// points are between batches. It returns false when the sweep is
+// complete or aborted.
+func (e *engine) take() (pi, ti int, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.err != nil {
+			return 0, 0, false
+		}
+		allDone := true
+		for i, p := range e.pts {
+			if p.next < p.target {
+				ti = p.next
+				p.next++
+				return i, ti, true
+			}
+			if !p.done {
+				allDone = false
+			}
+		}
+		if allDone {
+			return 0, 0, false
+		}
+		e.cond.Wait()
+	}
+}
+
+// decide evaluates a point whose current batch just completed and
+// reports whether it is finished. It runs under the engine mutex and
+// depends only on the trial-index prefix results[0:target], so the
+// decision sequence is identical for any worker schedule.
+func (e *engine) decide(p *pointState) bool {
+	if p.target >= len(p.results) {
+		return true
+	}
+	if !e.s.adaptive() {
+		return true
+	}
+	correct := 0
+	for i := 0; i < p.target; i++ {
+		if p.results[i].correct {
+			correct++
+		}
+	}
+	lo, hi := stats.Wilson(correct, p.target, e.s.WilsonZ)
+	boundary := 1 - e.s.CorrectEps
+	if lo >= boundary || hi < boundary {
+		return true
+	}
+	return false
+}
+
+// complete records one finished trial and, at batch boundaries, either
+// closes the point or extends its target by another batch.
+func (e *engine) complete(pi, ti int, r trialResult) {
+	e.mu.Lock()
+	p := e.pts[pi]
+	p.results[ti] = r
+	p.completed++
+	e.doneTrials++
+	if r.err != nil && e.err == nil {
+		e.err = r.err
+	}
+	if !p.done && p.completed == p.target {
+		if e.err != nil || e.decide(p) {
+			p.done = true
+			e.donePoints++
+		} else {
+			grow := e.s.TrialsMin
+			if p.target+grow > len(p.results) {
+				grow = len(p.results) - p.target
+			}
+			p.target += grow
+			e.totalTrials += grow
+		}
+	}
+	e.cond.Broadcast()
+	// Deliver the snapshot under the lock: callers are promised ordered,
+	// non-concurrent callbacks (an out-of-order DoneTrials would make a
+	// progress.Reporter misread the regression as a new phase and reset
+	// its rate clock mid-sweep).
+	if cb := e.s.Progress; cb != nil {
+		cb(Progress{
+			DoneTrials:  e.doneTrials,
+			TotalTrials: e.totalTrials,
+			DonePoints:  e.donePoints,
+			TotalPoints: len(e.pts),
+		})
+	}
+	e.mu.Unlock()
+}
+
+// runTrial executes one fault-injected trial on a worker-private memory.
+func (e *engine) runTrial(m *mem.Memory, pi, ti int) trialResult {
+	s := e.s
+	p := e.pts[pi]
+	var r trialResult
+	rng := stats.NewRand(stats.SubSeed(s.Seed, ti))
+	prog, want := e.prog, e.want
+	if s.Bench.PerTrialInputs {
+		src, w2, err := s.Bench.Build(stats.SubSeed(s.InputSeed, ti))
+		if err != nil {
+			r.err = err
+			return r
+		}
+		p2, err := asm.Assemble(src)
+		if err != nil {
+			r.err = err
+			return r
+		}
+		prog, want = p2, w2
+	}
+	m.Reset()
+	c := cpu.New(m, p.model.NewTrial(rng), s.System.Cfg.CPU)
+	if err := c.Load(prog); err != nil {
+		r.err = err
+		return r
+	}
+	c.SetWatchdog(e.watchdog)
+	st := c.Run()
+	r.fiBits = c.FIBits
+	r.kernelCycles = c.KernelCycles
+	if st != cpu.StatusExited {
+		return r
+	}
+	r.finished = true
+	got, err := s.Bench.Outputs(m, prog)
+	if err != nil {
+		// Output extraction can only fail on a broken benchmark
+		// definition, not on FI.
+		r.err = err
+		return r
+	}
+	r.metric = s.Bench.Metric(got, want)
+	r.correct = true
+	for i := range got {
+		if got[i] != want[i] {
+			r.correct = false
+			break
+		}
+	}
+	return r
+}
+
+// run drives the worker pool to completion and aggregates every point.
+func (e *engine) run() ([]Point, error) {
+	// Cap the pool by the largest amount of work the sweep can ever
+	// hold (adaptive points may grow past the initial totalTrials), not
+	// by the initial batch sizes.
+	maxWork := 0
+	for _, p := range e.pts {
+		maxWork += len(p.results)
+	}
+	workers := e.s.Workers
+	if workers > maxWork {
+		workers = maxWork
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := newMem()
+			for {
+				pi, ti, ok := e.take()
+				if !ok {
+					return
+				}
+				e.complete(pi, ti, e.runTrial(m, pi, ti))
+			}
+		}()
+	}
+	wg.Wait()
+	if e.err != nil {
+		return nil, e.err
+	}
+	pts := make([]Point, 0, len(e.pts))
+	for _, p := range e.pts {
+		pt, err := aggregate(p.freqMHz, p.results[:p.target])
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// aggregate folds raw trial results (in trial-index order) into the
+// paper's per-point metrics.
+func aggregate(fMHz float64, results []trialResult) (Point, error) {
+	pt := Point{FreqMHz: fMHz, Trials: len(results)}
+	var fin, cor int
+	var fiBits, kCycles, kCyclesFin uint64
+	var errSum, errAllSum float64
+	for _, r := range results {
+		if r.err != nil {
+			return Point{}, r.err
+		}
+		fiBits += r.fiBits
+		kCycles += r.kernelCycles
+		if r.finished {
+			fin++
+			errSum += r.metric
+			errAllSum += capPct(r.metric)
+			kCyclesFin += r.kernelCycles
+			if r.correct {
+				cor++
+			}
+		} else {
+			errAllSum += 100
+		}
+	}
+	pt.FinishedPct = pct(fin, len(results))
+	pt.CorrectPct = pct(cor, len(results))
+	if kCycles > 0 {
+		pt.FIRate = float64(fiBits) / float64(kCycles) * 1000
+	}
+	if fin > 0 {
+		pt.OutputErr = errSum / float64(fin)
+		pt.KernelCycles = float64(kCyclesFin) / float64(fin)
+	}
+	pt.OutputErrAll = errAllSum / float64(len(results))
+	return pt, nil
+}
+
+func pct(n, total int) float64 { return float64(n) / float64(total) * 100 }
+
+func capPct(x float64) float64 {
+	if x > 100 {
+		return 100
+	}
+	return x
+}
+
+// Run evaluates one data point at the given frequency. It is the
+// single-frequency case of the sweep engine, so fixed-seed results are
+// identical whether a frequency is evaluated alone or inside a sweep.
 func Run(spec Spec, fMHz float64) (Point, error) {
+	pts, err := Sweep(spec, []float64{fMHz})
+	if err != nil {
+		return Point{}, err
+	}
+	return pts[0], nil
+}
+
+// Sweep evaluates the configuration over a list of frequencies through
+// the shared-pool scheduler. Like the serial reference path it returns
+// the points of every frequency before the first invalid operating
+// point together with that point's error.
+func Sweep(spec Spec, freqs []float64) ([]Point, error) {
+	s := spec.withDefaults()
+	pts := make([]Point, 0, len(freqs))
+	if len(freqs) == 0 {
+		return pts, nil
+	}
+	// An invalid operating point partway through the list still gets the
+	// points of the valid prefix, matching the serial reference path
+	// (which evaluated every point before the failure).
+	models, modelErr := buildModels(s, freqs)
+	if len(models) == 0 {
+		return pts, modelErr
+	}
+	e, err := newEngine(s, freqs[:len(models)], models)
+	if err != nil {
+		return pts, err
+	}
+	pts, err = e.run()
+	if err != nil {
+		return pts, err
+	}
+	return pts, modelErr
+}
+
+// SweepSerial evaluates points strictly one at a time with a per-point
+// worker barrier and a freshly built (uncached) model per point — the
+// pre-engine implementation. It is kept as the reference for the
+// determinism guarantee (Sweep must match it bit-for-bit for a fixed
+// seed) and as the baseline for the sweep-engine benchmarks. Adaptive
+// allocation is not supported; Trials is always used as-is.
+func SweepSerial(spec Spec, freqs []float64) ([]Point, error) {
+	pts := make([]Point, 0, len(freqs))
+	for _, f := range freqs {
+		p, err := runSerial(spec, f)
+		if err != nil {
+			return pts, err
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// runSerial is the original single-point implementation: per-point
+// golden run, per-point model construction, per-point worker pool.
+func runSerial(spec Spec, fMHz float64) (Point, error) {
 	s := spec.withDefaults()
 	ms := s.Model
 	ms.FreqMHz = fMHz
 	if ms.Profile == nil {
 		ms.Profile = s.Bench.Profile
 	}
-	model, err := s.System.Model(ms)
+	model, err := s.System.NewModel(ms)
 	if err != nil {
 		return Point{}, err
 	}
@@ -133,15 +587,7 @@ func Run(spec Spec, fMHz float64) (Point, error) {
 	}
 	watchdog := uint64(float64(goldenCycles) * s.WatchdogFactor)
 
-	type result struct {
-		finished, correct bool
-		fiBits            uint64
-		kernelCycles      uint64
-		metric            float64
-		err               error
-	}
-	results := make([]result, s.Trials)
-
+	results := make([]trialResult, s.Trials)
 	var wg sync.WaitGroup
 	trialCh := make(chan int)
 	for w := 0; w < s.Workers; w++ {
@@ -182,8 +628,6 @@ func Run(spec Spec, fMHz float64) (Point, error) {
 				r.finished = true
 				got, err := s.Bench.Outputs(m, prog)
 				if err != nil {
-					// Output extraction can only fail on a broken
-					// benchmark definition, not on FI.
 					r.err = err
 					continue
 				}
@@ -203,68 +647,13 @@ func Run(spec Spec, fMHz float64) (Point, error) {
 	}
 	close(trialCh)
 	wg.Wait()
-
-	pt := Point{FreqMHz: fMHz, Trials: s.Trials}
-	var fin, cor int
-	var fiBits, kCycles, kCyclesFin uint64
-	var errSum, errAllSum float64
-	for _, r := range results {
-		if r.err != nil {
-			return Point{}, r.err
-		}
-		fiBits += r.fiBits
-		kCycles += r.kernelCycles
-		if r.finished {
-			fin++
-			errSum += r.metric
-			errAllSum += capPct(r.metric)
-			kCyclesFin += r.kernelCycles
-			if r.correct {
-				cor++
-			}
-		} else {
-			errAllSum += 100
-		}
-	}
-	pt.FinishedPct = pct(fin, s.Trials)
-	pt.CorrectPct = pct(cor, s.Trials)
-	if kCycles > 0 {
-		pt.FIRate = float64(fiBits) / float64(kCycles) * 1000
-	}
-	if fin > 0 {
-		pt.OutputErr = errSum / float64(fin)
-		pt.KernelCycles = float64(kCyclesFin) / float64(fin)
-	}
-	pt.OutputErrAll = errAllSum / float64(s.Trials)
-	return pt, nil
-}
-
-func pct(n, total int) float64 { return float64(n) / float64(total) * 100 }
-
-func capPct(x float64) float64 {
-	if x > 100 {
-		return 100
-	}
-	return x
-}
-
-// Sweep evaluates the configuration over a list of frequencies.
-func Sweep(spec Spec, freqs []float64) ([]Point, error) {
-	pts := make([]Point, 0, len(freqs))
-	for _, f := range freqs {
-		p, err := Run(spec, f)
-		if err != nil {
-			return pts, err
-		}
-		pts = append(pts, p)
-	}
-	return pts, nil
+	return aggregate(fMHz, results)
 }
 
 // PoFF locates the point of first failure in a sweep: the lowest
 // frequency whose point is no longer 100% correct (the paper's
 // definition). It returns the frequency and true, or 0 and false when
-// every point is fully correct.
+// every point is fully correct (or the sweep is empty).
 func PoFF(points []Point) (float64, bool) {
 	for _, p := range points {
 		if p.CorrectPct < 100 {
@@ -275,7 +664,8 @@ func PoFF(points []Point) (float64, bool) {
 }
 
 // GainOverSTA expresses a PoFF as percent gain over the STA limit, the
-// annotation of the paper's Fig. 5/6.
+// annotation of the paper's Fig. 5/6. A PoFF below the STA limit yields
+// a negative gain.
 func GainOverSTA(poffMHz, staMHz float64) float64 {
 	return (poffMHz - staMHz) / staMHz * 100
 }

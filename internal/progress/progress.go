@@ -1,0 +1,121 @@
+// Package progress renders single-line progress/ETA reports for the
+// long-running operations of the simulator: Monte-Carlo sweeps, paper
+// reproduction runs and DTA characterization. A Reporter is cheap enough
+// to call on every completed work item — it throttles its own output —
+// and writes carriage-return-updated lines, so it should be pointed at a
+// terminal stream (stderr in the cmd tools), never at result output.
+package progress
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ETA linearly extrapolates the remaining duration from the elapsed time
+// and the completed fraction. It returns 0 when nothing is done yet or
+// the total is unknown (<= 0), the honest answer before any rate exists.
+func ETA(elapsed time.Duration, done, total int) time.Duration {
+	if done <= 0 || total <= 0 || done >= total {
+		return 0
+	}
+	perItem := float64(elapsed) / float64(done)
+	return time.Duration(perItem * float64(total-done))
+}
+
+// Line formats one progress line: label, counts, percentage, elapsed and
+// (when computable) the ETA. It is pure so tests can pin the format.
+func Line(label string, done, total int, elapsed, eta time.Duration) string {
+	pctStr := "?"
+	if total > 0 {
+		pctStr = fmt.Sprintf("%.0f%%", float64(done)/float64(total)*100)
+	}
+	s := fmt.Sprintf("%s %d/%d (%s) %s", label, done, total, pctStr, elapsed.Round(time.Second))
+	if eta > 0 {
+		s += fmt.Sprintf(" eta %s", eta.Round(time.Second))
+	}
+	return s
+}
+
+// Reporter throttles and renders progress updates. The zero value is
+// inert; build one with New. A nil *Reporter is safe to call, so callers
+// can thread an optional reporter without nil checks.
+type Reporter struct {
+	mu        sync.Mutex
+	w         io.Writer
+	label     string
+	minPeriod time.Duration
+	now       func() time.Time
+
+	start     time.Time
+	lastPrint time.Time
+	lastDone  int
+	lastLen   int
+	dirty     bool
+}
+
+// New returns a Reporter writing to w. Updates are throttled to ten per
+// second; a nil writer yields an inert reporter.
+func New(w io.Writer, label string) *Reporter {
+	return &Reporter{w: w, label: label, minPeriod: 100 * time.Millisecond, now: time.Now}
+}
+
+// SetLabel switches the line prefix (e.g. per-experiment names in
+// paperrepro) and restarts the rate clock.
+func (r *Reporter) SetLabel(label string) {
+	if r == nil || r.w == nil {
+		return
+	}
+	r.mu.Lock()
+	r.label = label
+	r.start = time.Time{}
+	r.lastDone = 0
+	r.mu.Unlock()
+}
+
+// Update records that done of total work items are complete and redraws
+// the line if enough time has passed since the last draw. A done value
+// lower than the previous one restarts the rate clock (a new phase
+// reusing the reporter).
+func (r *Reporter) Update(done, total int) {
+	if r == nil || r.w == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	if r.start.IsZero() || done < r.lastDone {
+		r.start = now
+		r.lastPrint = time.Time{}
+	}
+	r.lastDone = done
+	if !r.lastPrint.IsZero() && now.Sub(r.lastPrint) < r.minPeriod && done < total {
+		return
+	}
+	r.lastPrint = now
+	elapsed := now.Sub(r.start)
+	line := Line(r.label, done, total, elapsed, ETA(elapsed, done, total))
+	pad := ""
+	for n := len(line); n < r.lastLen; n++ {
+		pad += " "
+	}
+	fmt.Fprintf(r.w, "\r%s%s", line, pad)
+	r.lastLen = len(line)
+	r.dirty = true
+}
+
+// Finish terminates the progress line with a newline so subsequent
+// output starts clean. It is a no-op if nothing was drawn.
+func (r *Reporter) Finish() {
+	if r == nil || r.w == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dirty {
+		fmt.Fprintln(r.w)
+		r.dirty = false
+		r.lastLen = 0
+	}
+}

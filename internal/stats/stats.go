@@ -171,6 +171,53 @@ func ClippedNormal(rng *rand.Rand, mean, sigma, clip float64) float64 {
 	return mean + x
 }
 
+// WilsonZ95 is the normal quantile for a two-sided 95% confidence
+// interval, the default for adaptive Monte-Carlo trial allocation.
+const WilsonZ95 = 1.959963984540054
+
+// Wilson returns the Wilson score confidence interval [lo, hi] for a
+// binomial proportion with k successes out of n trials at normal
+// quantile z. Unlike the normal approximation it stays inside [0, 1]
+// and remains informative at k = 0 and k = n, which is exactly where
+// the adaptive sweep engine needs it: a point with zero failures so far
+// still has a non-trivial upper bound on its failure probability.
+// Wilson(k, 0, z) returns the uninformative interval [0, 1].
+func Wilson(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nn
+	center := (p + z2/(2*nn)) / denom
+	half := z * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn)) / denom
+	lo = center - half
+	hi = center + half
+	// Pin the degenerate edges: rounding in the sqrt can otherwise leave
+	// lo a few ulps above 0 at k=0 (or hi below 1 at k=n), violating the
+	// invariant that the interval contains the sample proportion.
+	if k == 0 || lo < 0 {
+		lo = 0
+	}
+	if k == n || hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// WilsonLower returns only the lower bound of the Wilson interval.
+func WilsonLower(k, n int, z float64) float64 {
+	lo, _ := Wilson(k, n, z)
+	return lo
+}
+
+// WilsonUpper returns only the upper bound of the Wilson interval.
+func WilsonUpper(k, n int, z float64) float64 {
+	_, hi := Wilson(k, n, z)
+	return hi
+}
+
 // Mean returns the arithmetic mean of xs (0 when empty).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

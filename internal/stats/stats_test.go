@@ -167,3 +167,60 @@ func TestLinspace(t *testing.T) {
 		t.Errorf("n=1 should be [lo]")
 	}
 }
+
+func TestWilson(t *testing.T) {
+	// Reference values for the 95% interval of 8/10 (e.g. Brown, Cai &
+	// DasGupta 2001): about [0.490, 0.943].
+	lo, hi := Wilson(8, 10, WilsonZ95)
+	if math.Abs(lo-0.4901) > 0.005 || math.Abs(hi-0.9433) > 0.005 {
+		t.Errorf("Wilson(8,10) = [%v, %v], want about [0.490, 0.943]", lo, hi)
+	}
+	// Degenerate inputs stay informative and inside [0, 1].
+	lo, hi = Wilson(0, 20, WilsonZ95)
+	if lo != 0 {
+		t.Errorf("Wilson(0,20) lower = %v, want 0", lo)
+	}
+	if hi <= 0 || hi >= 0.3 {
+		t.Errorf("Wilson(0,20) upper = %v, want small but positive", hi)
+	}
+	lo, hi = Wilson(20, 20, WilsonZ95)
+	if hi != 1 {
+		t.Errorf("Wilson(20,20) upper = %v, want 1", hi)
+	}
+	// Closed form for k=n: lo = n/(n+z^2).
+	z2 := WilsonZ95 * WilsonZ95
+	if want := 20 / (20 + z2); math.Abs(lo-want) > 1e-12 {
+		t.Errorf("Wilson(20,20) lower = %v, want %v", lo, want)
+	}
+	// No trials: the uninformative interval.
+	if lo, hi = Wilson(0, 0, WilsonZ95); lo != 0 || hi != 1 {
+		t.Errorf("Wilson(0,0) = [%v, %v], want [0, 1]", lo, hi)
+	}
+	if WilsonLower(8, 10, WilsonZ95) >= WilsonUpper(8, 10, WilsonZ95) {
+		t.Errorf("lower bound not below upper bound")
+	}
+}
+
+func TestWilsonProperties(t *testing.T) {
+	f := func(k8, n8 uint8) bool {
+		n := int(n8%100) + 1
+		k := int(k8) % (n + 1)
+		lo, hi := Wilson(k, n, WilsonZ95)
+		p := float64(k) / float64(n)
+		return lo >= 0 && hi <= 1 && lo <= p && p <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWilsonNarrowsWithN(t *testing.T) {
+	prevLo, prevHi := Wilson(5, 10, WilsonZ95)
+	for _, n := range []int{20, 40, 80, 160} {
+		lo, hi := Wilson(n/2, n, WilsonZ95)
+		if hi-lo >= prevHi-prevLo {
+			t.Errorf("interval did not narrow at n=%d: [%v,%v] vs [%v,%v]", n, lo, hi, prevLo, prevHi)
+		}
+		prevLo, prevHi = lo, hi
+	}
+}
