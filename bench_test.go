@@ -240,6 +240,41 @@ func BenchmarkSweepAdaptive(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Trace-replay benches: the golden-trace fast path (BenchmarkPointReplay)
+// against full per-trial ISS execution (BenchmarkPointFull) on a
+// sub-PoFF operating point, where most trials never inject a single
+// fault and replay reduces a trial to one injector query per kernel ALU
+// cycle. The acceptance bar for the fast path is >= 2x here.
+
+func replayBenchSpec() mc.Spec {
+	return mc.Spec{
+		System: benchSystem(),
+		Bench:  bench.Median(),
+		Model:  core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010},
+		Trials: 16,
+		Seed:   1,
+	}
+}
+
+func BenchmarkPointReplay(b *testing.B) {
+	spec := replayBenchSpec()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Run(spec, 700); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointFull(b *testing.B) {
+	spec := replayBenchSpec()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.RunFull(spec, 700); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkISS measures raw simulator throughput (cycles/sec) on the
 // dijkstra kernel without fault injection.
 func BenchmarkISS(b *testing.B) {

@@ -72,12 +72,22 @@ func Benchmarks() []*Benchmark { return bench.All() }
 func BenchmarkByName(name string) (*Benchmark, error) { return bench.ByName(name) }
 
 // Run evaluates one Monte-Carlo data point at the given frequency (MHz).
+// Benchmarks with fixed inputs run on the golden-trace replay fast path:
+// trials are decided against one recorded fault-free execution and only
+// fork into full cycle-accurate simulation from the first injected bit
+// flip. Results are bit-identical to full execution for a fixed seed.
 func Run(spec Spec, fMHz float64) (Point, error) { return mc.Run(spec, fMHz) }
 
+// RunFull evaluates one data point forcing full ISS execution for every
+// trial — the reference path of the replay optimization (set
+// Spec.DisableReplay to force it inside sweeps).
+func RunFull(spec Spec, fMHz float64) (Point, error) { return mc.RunFull(spec, fMHz) }
+
 // Sweep evaluates a configuration over a frequency list. All
-// (frequency, trial) work items of the sweep share one worker pool and
-// one cached model per operating point, and results are bit-identical
-// to evaluating each frequency on its own for a fixed Spec.Seed.
+// (frequency, trial) work items of the sweep share one worker pool, one
+// cached model per operating point, and one cached golden trace, and
+// results are bit-identical to evaluating each frequency on its own for
+// a fixed Spec.Seed.
 func Sweep(spec Spec, freqs []float64) ([]Point, error) { return mc.Sweep(spec, freqs) }
 
 // PoFF locates the point of first failure in a sweep.

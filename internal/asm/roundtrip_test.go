@@ -1,0 +1,109 @@
+// Assemble -> disassemble -> assemble fixpoint tests. These live in an
+// external test package so they can pull the real benchmark kernels in
+// (bench imports asm) without an import cycle.
+package asm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bench"
+	"repro/internal/isa"
+)
+
+// disassemble renders a text segment back to assembly source, one
+// instruction per line with numeric (label-free) operands, prefixed with
+// an .org that pins the original base so pc-relative offsets stay valid.
+func disassemble(seg asm.Segment) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".org 0x%x\n", seg.Base)
+	if len(seg.Bytes)%4 != 0 {
+		return "", fmt.Errorf("text segment of %d bytes not word-aligned", len(seg.Bytes))
+	}
+	for i := 0; i+4 <= len(seg.Bytes); i += 4 {
+		w := uint32(seg.Bytes[i])<<24 | uint32(seg.Bytes[i+1])<<16 |
+			uint32(seg.Bytes[i+2])<<8 | uint32(seg.Bytes[i+3])
+		in := isa.Decode(w)
+		if in.Op == isa.OpInvalid {
+			return "", fmt.Errorf("word %08x at offset %d does not decode", w, i)
+		}
+		fmt.Fprintf(&b, "\t%v\n", in)
+	}
+	return b.String(), nil
+}
+
+// TestDisassembleRoundTripKernels checks the fixpoint on every real
+// benchmark kernel: assembling the disassembly reproduces the text image
+// bit for bit, and disassembling that is textually stable.
+func TestDisassembleRoundTripKernels(t *testing.T) {
+	for _, bm := range append(bench.All(), bench.Micros()...) {
+		src, _, err := bm.Build(42)
+		if err != nil {
+			t.Fatalf("%s: build: %v", bm.Name, err)
+		}
+		p1, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", bm.Name, err)
+		}
+		dis, err := disassemble(p1.Text)
+		if err != nil {
+			t.Fatalf("%s: disassemble: %v", bm.Name, err)
+		}
+		p2, err := asm.Assemble(dis)
+		if err != nil {
+			t.Fatalf("%s: reassemble:\n%s\n%v", bm.Name, dis, err)
+		}
+		if p2.Text.Base != p1.Text.Base {
+			t.Fatalf("%s: text base moved: %#x -> %#x", bm.Name, p1.Text.Base, p2.Text.Base)
+		}
+		if string(p2.Text.Bytes) != string(p1.Text.Bytes) {
+			t.Fatalf("%s: reassembled text differs (%d vs %d bytes)",
+				bm.Name, len(p2.Text.Bytes), len(p1.Text.Bytes))
+		}
+		dis2, err := disassemble(p2.Text)
+		if err != nil {
+			t.Fatalf("%s: second disassembly: %v", bm.Name, err)
+		}
+		if dis2 != dis {
+			t.Fatalf("%s: disassembly not a fixpoint", bm.Name)
+		}
+	}
+}
+
+// FuzzAssemble feeds arbitrary sources through the assembler: it must
+// never panic, must be deterministic, and on success with a fully
+// decodable text image the disassembly round-trip must hold.
+func FuzzAssemble(f *testing.F) {
+	f.Add("\tl.addi r1,r0,42\n\tl.sys 0\n")
+	f.Add("loop:\n\tl.addi r1,r1,-1\n\tl.sfgtsi r1,0\n\tl.bf loop\n\tl.sys 0\n")
+	f.Add(".data\nbuf: .word 1, 2, -3\n.text\n\tl.movhi r2,hi(buf)\n\tl.ori r2,r2,lo(buf)\n")
+	f.Add(".org 0x200\n\tl.sw -4(r3),r4\n\tl.nop\n")
+	f.Add(".align 8\n.half 1,2\n.byte 3\n.space 5\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := asm.Assemble(src)
+		if err != nil {
+			return
+		}
+		p2, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("second assembly failed: %v", err)
+		}
+		if string(p1.Text.Bytes) != string(p2.Text.Bytes) ||
+			string(p1.Data.Bytes) != string(p2.Data.Bytes) || p1.Entry != p2.Entry {
+			t.Fatalf("assembly not deterministic")
+		}
+		dis, err := disassemble(p1.Text)
+		if err != nil {
+			return // data in text or odd-sized image: no round-trip claim
+		}
+		p3, err := asm.Assemble(dis)
+		if err != nil {
+			t.Fatalf("reassembly of disassembled text failed:\n%s\n%v", dis, err)
+		}
+		if string(p3.Text.Bytes) != string(p1.Text.Bytes) {
+			t.Fatalf("reassembled text differs from original")
+		}
+	})
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/bench"
+	"repro/internal/cpu"
 	"repro/internal/dta"
 	"repro/internal/timing"
 )
@@ -147,6 +149,79 @@ func TestModelCacheConcurrent(t *testing.T) {
 	for i := 1; i < n; i++ {
 		if models[i] != models[0] {
 			t.Fatalf("goroutine %d observed a different instance", i)
+		}
+	}
+}
+
+// TestGoldenCache checks the golden-trace cache: repeated lookups share
+// one recorded execution, distinct (benchmark, seed) keys get distinct
+// entries, the recorded trace is internally consistent, and per-trial-
+// input benchmarks are rejected.
+func TestGoldenCache(t *testing.T) {
+	s := system()
+	med := bench.Median()
+	a, err := s.Golden(med, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Golden(med, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same key produced distinct golden traces")
+	}
+	c, err := s.Golden(med, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Errorf("different input seeds shared one cache entry")
+	}
+	d, err := s.Golden(bench.Dijkstra(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == d {
+		t.Errorf("different benchmarks shared one cache entry")
+	}
+	if a.Trace.Status != cpu.StatusExited {
+		t.Errorf("golden trace recorded status %v", a.Trace.Status)
+	}
+	if len(a.Queries) != len(a.Trace.Events) || uint64(len(a.Queries)) != a.Trace.KernelALUCycles {
+		t.Errorf("query stream has %d entries, trace %d events over %d kernel ALU cycles",
+			len(a.Queries), len(a.Trace.Events), a.Trace.KernelALUCycles)
+	}
+	if len(a.Trace.Checkpoints) == 0 || a.Trace.Checkpoints[0].Cycles != 0 {
+		t.Errorf("golden trace missing the reset checkpoint")
+	}
+	if _, err := s.Golden(bench.MicroAdd32(), 42); err == nil {
+		t.Errorf("per-trial-input benchmark accepted by the golden cache")
+	}
+}
+
+// TestGoldenCacheConcurrent hammers one key from many goroutines; the
+// race detector guards the locking and every caller must observe the
+// same instance.
+func TestGoldenCacheConcurrent(t *testing.T) {
+	s := system()
+	const n = 16
+	goldens := make([]*Golden, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := s.Golden(bench.KMeans(), 42)
+			if err == nil {
+				goldens[i] = g
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if goldens[i] == nil || goldens[i] != goldens[0] {
+			t.Fatalf("goroutine %d observed a different golden instance", i)
 		}
 	}
 }

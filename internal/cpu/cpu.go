@@ -127,6 +127,10 @@ type CPU struct {
 	// Fault-injection window (opened by l.sys 1, closed by l.sys 2).
 	InWindow bool
 
+	// Golden-trace recording (see trace.go); nil when not recording.
+	trace    *Trace
+	nextCkpt uint64
+
 	// Statistics.
 	Cycles          uint64
 	KernelCycles    uint64
@@ -251,6 +255,9 @@ func (c *CPU) Step() Status {
 }
 
 func (c *CPU) step() {
+	if c.trace != nil && c.Cycles >= c.nextCkpt {
+		c.checkpoint()
+	}
 	if c.cfg.Watchdog > 0 && c.Cycles >= c.cfg.Watchdog {
 		c.status = StatusWatchdog
 		return
@@ -297,6 +304,13 @@ func (c *CPU) step() {
 	// endpoint latches.
 	applyFI := func(result uint32, flag bool) (uint32, bool) {
 		outR, outF := result, flag
+		if aluCycle && c.trace != nil {
+			c.trace.Events = append(c.trace.Events, TraceEvent{
+				Op: in.Op, A: ra, B: rb, RD: in.RD,
+				Result: result, Prev: c.prevEXResult,
+				Flag: flag, PrevFlag: c.prevFlag,
+			})
+		}
 		if aluCycle {
 			var flipped int
 			outR, outF, flipped = c.inj.Inject(in.Op, result, c.prevEXResult, flag, c.prevFlag)
@@ -447,16 +461,19 @@ func (c *CPU) step() {
 			c.trap(err)
 			return
 		}
+		c.recordStore(ra+uint32(in.Imm), 4, rb)
 	case isa.OpSh:
 		if err := c.Mem.StoreHalf(ra+uint32(in.Imm), uint16(rb)); err != nil {
 			c.trap(err)
 			return
 		}
+		c.recordStore(ra+uint32(in.Imm), 2, rb)
 	case isa.OpSb:
 		if err := c.Mem.StoreByte(ra+uint32(in.Imm), uint8(rb)); err != nil {
 			c.trap(err)
 			return
 		}
+		c.recordStore(ra+uint32(in.Imm), 1, rb)
 
 	default:
 		c.trap(fmt.Errorf("cpu: unimplemented op %v at 0x%08x", in.Op, c.PC))

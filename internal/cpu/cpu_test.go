@@ -216,6 +216,68 @@ func TestWatchdog(t *testing.T) {
 	}
 }
 
+// TestWatchdogExactBoundary pins the cycle-budget boundary semantics:
+// the budget is checked at instruction entry against the cycles already
+// charged, so a program whose final instruction enters at cycle W-1
+// completes under budget W, while budget W-1 kills it on that entry
+// with the cycle counter frozen at the budget value.
+func TestWatchdogExactBoundary(t *testing.T) {
+	// Straight-line: 3 addi + sys = 4 cycles; entries at 0,1,2,3.
+	src := `
+		l.addi r1,r0,1
+		l.addi r2,r0,2
+		l.add  r3,r1,r2
+		l.sys 0
+	`
+	c := load(t, src, nil)
+	c.SetWatchdog(4)
+	if c.Run() != StatusExited {
+		t.Errorf("budget == total cycles: status %v, want exited", c.Status())
+	}
+	if c.Cycles != 4 {
+		t.Errorf("budget == total cycles: ran %d cycles, want 4", c.Cycles)
+	}
+	c = load(t, src, nil)
+	c.SetWatchdog(3)
+	if c.Run() != StatusWatchdog {
+		t.Errorf("budget == total-1: status %v, want watchdog", c.Status())
+	}
+	if c.Cycles != 3 {
+		t.Errorf("watchdog froze the counter at %d, want exactly 3", c.Cycles)
+	}
+	// A 1+4-cycle spin loop has entries at 0,1 (mod 5); a budget on a
+	// multiple of 5 is hit exactly, never overshot.
+	c = load(t, `
+	spin:
+		l.addi r1,r1,1
+		l.j spin
+	`, nil)
+	c.SetWatchdog(5000)
+	if c.Run() != StatusWatchdog {
+		t.Fatalf("status %v, want watchdog", c.Status())
+	}
+	if c.Cycles != 5000 {
+		t.Errorf("spin loop caught at %d cycles, want exactly the 5000 budget", c.Cycles)
+	}
+}
+
+// TestSelfJumpDetectedWithoutBudget pins that the trivial infinite-loop
+// detection does not depend on the cycle budget: an unconditional
+// jump-to-self aborts immediately even with the watchdog disabled.
+func TestSelfJumpDetectedWithoutBudget(t *testing.T) {
+	c := load(t, `
+	self:
+		l.j self
+	`, nil)
+	c.SetWatchdog(0)
+	if c.Run() != StatusWatchdog {
+		t.Fatalf("status %v, want watchdog (self-jump, no budget)", c.Status())
+	}
+	if c.Cycles > 10 {
+		t.Errorf("self-jump with no budget ran %d cycles before detection", c.Cycles)
+	}
+}
+
 func TestSelfJumpDetection(t *testing.T) {
 	c := load(t, `
 	self:

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden-file regression tests: the rendered output of the experiment
+// runners at a pinned (seed, scale, reduced-DTA) operating point is
+// compared byte-for-byte against committed fixtures. Any change to the
+// simulator, the fault models, the Monte-Carlo engine (including the
+// trace-replay fast path) or the table renderers that shifts a single
+// digit shows up here. Regenerate the fixtures after an intended change
+// with:
+//
+//	go test ./internal/experiments/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture %s (run with -update to create it): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the committed fixture.\n--- got ---\n%s\n--- want ---\n%s\nRun with -update if the change is intended.",
+			path, got, want)
+	}
+}
+
+func TestTable1Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Table1(options(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1.golden", buf.Bytes())
+}
+
+func TestFig1Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Fig1(options(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig1.golden", buf.Bytes())
+}

@@ -1,0 +1,66 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecodeEncode checks the decoder/encoder pair over arbitrary
+// instruction words: every word that decodes to a valid instruction must
+// re-encode without error, the re-encoded word must decode to the same
+// instruction, and re-encoding is a fixpoint (the canonical encoding of
+// a decoded instruction is stable even when the original word carried
+// junk in don't-care bits).
+func FuzzDecodeEncode(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	for _, op := range AllOps() {
+		w, err := Encode(sampleInstr(op, rng))
+		if err != nil {
+			f.Fatalf("%v: seeding corpus: %v", op, err)
+		}
+		f.Add(w)
+		// Same encodings with junk in typical don't-care positions.
+		f.Add(w | 1<<10)
+	}
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in := Decode(w)
+		if in.Op == OpInvalid {
+			return
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("decoded %08x to %v but cannot re-encode: %v", w, in, err)
+		}
+		in2 := Decode(w2)
+		if in2 != in {
+			t.Fatalf("%08x decodes to %v, canonical word %08x decodes to %v", w, in, w2, in2)
+		}
+		w3, err := Encode(in2)
+		if err != nil || w3 != w2 {
+			t.Fatalf("canonical encoding not a fixpoint: %08x -> %08x (%v)", w2, w3, err)
+		}
+	})
+}
+
+// FuzzDecodeTotal checks that Decode is total: any word either decodes
+// to a valid, re-encodable instruction or to OpInvalid — it never
+// produces an op outside the enum or a shift amount the encoder rejects.
+func FuzzDecodeTotal(f *testing.F) {
+	for pc := uint32(0); pc < 64; pc++ {
+		f.Add(pc<<26 | 0x00821042) // each primary opcode with busy fields
+	}
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in := Decode(w)
+		if int(in.Op) >= NumOps {
+			t.Fatalf("%08x decoded to op %d outside the enum", w, in.Op)
+		}
+		if in.Op == OpInvalid {
+			return
+		}
+		if _, err := Encode(in); err != nil {
+			t.Fatalf("%08x decoded to unencodable %v: %v", w, in, err)
+		}
+	})
+}

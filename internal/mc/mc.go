@@ -16,6 +16,16 @@
 // numbers: Sweep is bit-identical to the point-serial reference path
 // (SweepSerial) for a fixed seed.
 //
+// Trials with fixed inputs run on the golden-trace replay fast path:
+// the fault model's injector is driven over one recorded fault-free
+// execution (core.System.Golden), and only trials in which it actually
+// flips an endpoint bit fork into full cycle-accurate simulation,
+// resuming from the nearest recorded checkpoint. Below the point of
+// first failure most trials never inject, so a point costs little more
+// than one injector query per kernel ALU cycle per trial. The path is
+// bit-identical to full execution for a fixed seed; RunFull forces the
+// full reference path (Spec.DisableReplay does the same inside sweeps).
+//
 // Optionally, trial allocation is adaptive (TrialsMin/TrialsMax): a
 // point starts with TrialsMin trials and grows in TrialsMin batches
 // until the Wilson confidence interval on its correct proportion either
@@ -27,7 +37,6 @@
 package mc
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 
@@ -67,6 +76,11 @@ type Spec struct {
 	// Seed drives all trial randomness (noise, injection, per-trial
 	// operands); every (seed, trial index) pair is reproducible.
 	Seed int64
+	// DisableReplay forces full ISS execution for every trial instead of
+	// the golden-trace replay fast path. Results are bit-identical either
+	// way (the differential test grid pins this); the switch exists as
+	// the reference path and for benchmarks. See RunFull.
+	DisableReplay bool
 	// InputSeed fixes the benchmark's input data.
 	InputSeed int64
 	// WatchdogFactor bounds a faulty run at this multiple of the
@@ -117,6 +131,11 @@ func (s Spec) withDefaults() Spec {
 // trial allocation.
 func (s Spec) adaptive() bool { return s.TrialsMax > 0 }
 
+// replayable reports whether the golden-trace replay fast path can serve
+// this spec: inputs must be fixed (one shared golden run) and the fast
+// path must not be disabled.
+func (s Spec) replayable() bool { return !s.DisableReplay && !s.Bench.PerTrialInputs }
+
 // Progress is a snapshot of sweep-engine progress. Trial totals grow
 // while adaptive points extend their budgets.
 type Progress struct {
@@ -136,38 +155,6 @@ type Point struct {
 	OutputErr    float64 // mean metric over finished runs (0 if none finished)
 	OutputErrAll float64 // mean metric with non-finished runs counted as 100%
 	KernelCycles float64 // mean kernel cycles of finished runs
-}
-
-// goldenRun executes the benchmark fault-free and returns program,
-// expected outputs and the cycle count.
-func goldenRun(s Spec, seed int64) (*asm.Program, []uint32, uint64, error) {
-	src, want, err := s.Bench.Build(seed)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	p, err := asm.Assemble(src)
-	if err != nil {
-		return nil, nil, 0, fmt.Errorf("mc: %s: %w", s.Bench.Name, err)
-	}
-	m := newMem()
-	c := cpu.New(m, nil, s.System.Cfg.CPU)
-	if err := c.Load(p); err != nil {
-		return nil, nil, 0, err
-	}
-	c.SetWatchdog(100_000_000)
-	if st := c.Run(); st != cpu.StatusExited {
-		return nil, nil, 0, fmt.Errorf("mc: %s: golden run ended %v (%v)", s.Bench.Name, st, c.TrapErr())
-	}
-	got, err := s.Bench.Outputs(m, p)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	for i := range got {
-		if got[i] != want[i] {
-			return nil, nil, 0, fmt.Errorf("mc: %s: golden output mismatch at %d", s.Bench.Name, i)
-		}
-	}
-	return p, want, c.Cycles, nil
 }
 
 // trialResult is one trial's raw outcome, indexed by trial number so
@@ -201,6 +188,11 @@ type engine struct {
 	want     []uint32
 	watchdog uint64
 	pts      []*pointState
+
+	// Replay fast path (nil when the spec is not replayable): the cached
+	// golden trace and the trial outcome of a fault-free replay.
+	golden  *core.Golden
+	metric0 float64
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -236,15 +228,33 @@ func newEngine(s Spec, freqs []float64, models []fi.Model) (*engine, error) {
 
 	// One golden run per sweep: neither the program nor the watchdog
 	// depends on frequency. PerTrialInputs benchmarks rebuild inputs per
-	// trial and use the golden run only to size the watchdog.
-	prog, want, goldenCycles, err := goldenRun(s, s.InputSeed)
-	if err != nil {
-		return nil, err
+	// trial and use the golden run only to size the watchdog. Replayable
+	// specs take the recorded (and cached) golden trace instead, so
+	// repeated sweeps of one benchmark share a single golden execution.
+	if s.replayable() {
+		g, err := s.System.Golden(s.Bench, s.InputSeed)
+		if err != nil {
+			return nil, err
+		}
+		e.prog, e.want = g.Prog, g.Want
+		e.watchdog = uint64(float64(g.Trace.Cycles) * s.WatchdogFactor)
+		if e.watchdog >= g.Trace.Cycles {
+			e.golden = g
+			e.metric0 = s.Bench.Metric(g.Want, g.Want)
+		}
+		// Otherwise the budget is below the golden cycle count and would
+		// watchdog even fault-free trials: trials run the full path, but
+		// the recorded program, outputs and cycle count still serve.
+	} else {
+		prog, want, goldenCycles, err := s.System.GoldenRun(s.Bench, s.InputSeed)
+		if err != nil {
+			return nil, err
+		}
+		if !s.Bench.PerTrialInputs {
+			e.prog, e.want = prog, want
+		}
+		e.watchdog = uint64(float64(goldenCycles) * s.WatchdogFactor)
 	}
-	if !s.Bench.PerTrialInputs {
-		e.prog, e.want = prog, want
-	}
-	e.watchdog = uint64(float64(goldenCycles) * s.WatchdogFactor)
 
 	maxTrials := s.Trials
 	initial := s.Trials
@@ -357,8 +367,50 @@ func (e *engine) complete(pi, ti int, r trialResult) {
 	e.mu.Unlock()
 }
 
-// runTrial executes one fault-injected trial on a worker-private memory.
+// runTrial executes one trial on a worker-private memory, through the
+// replay fast path when the engine holds a golden trace.
 func (e *engine) runTrial(m *mem.Memory, pi, ti int) trialResult {
+	if e.golden != nil {
+		return e.runTrialReplay(m, pi, ti)
+	}
+	return e.runTrialFull(m, pi, ti)
+}
+
+// runTrialReplay decides the trial against the golden trace: the model's
+// injector is driven over the recorded ALU activity, and only when it
+// actually flips a bit does the trial fork into full execution, resuming
+// from the nearest recorded checkpoint. Results are bit-identical to
+// runTrialFull for the same seed (the RNG stream, the injector argument
+// sequence, and the resumed architectural state all match the full run
+// exactly).
+func (e *engine) runTrialReplay(m *mem.Memory, pi, ti int) trialResult {
+	s := e.s
+	var r trialResult
+	rng := stats.NewRand(stats.SubSeed(s.Seed, ti))
+	inj := e.pts[pi].model.NewTrial(rng)
+	fork, ok := fi.ScanTrace(inj, e.golden.Queries)
+	if !ok {
+		// Fault-free: the trial is the golden run.
+		r.finished, r.correct = true, true
+		r.kernelCycles = e.golden.Trace.KernelCycles
+		r.metric = e.metric0
+		return r
+	}
+	cp := e.golden.Trace.CheckpointBefore(fork.Query)
+	m.Reset()
+	c := cpu.New(m, fi.NewForkInjector(inj, cp.EventIndex, fork), s.System.Cfg.CPU)
+	if err := c.Restore(e.golden.Prog, e.golden.Trace, cp); err != nil {
+		r.err = err
+		return r
+	}
+	c.SetWatchdog(e.watchdog)
+	st := c.Run()
+	return e.finishTrial(c, m, e.golden.Prog, e.golden.Want, st)
+}
+
+// runTrialFull executes one fault-injected trial from the reset vector —
+// the reference implementation the replay path must match bit for bit.
+func (e *engine) runTrialFull(m *mem.Memory, pi, ti int) trialResult {
 	s := e.s
 	p := e.pts[pi]
 	var r trialResult
@@ -385,20 +437,27 @@ func (e *engine) runTrial(m *mem.Memory, pi, ti int) trialResult {
 	}
 	c.SetWatchdog(e.watchdog)
 	st := c.Run()
+	return e.finishTrial(c, m, prog, want, st)
+}
+
+// finishTrial folds a completed simulation into a trialResult; shared by
+// the full and forked-replay paths.
+func (e *engine) finishTrial(c *cpu.CPU, m *mem.Memory, prog *asm.Program, want []uint32, st cpu.Status) trialResult {
+	var r trialResult
 	r.fiBits = c.FIBits
 	r.kernelCycles = c.KernelCycles
 	if st != cpu.StatusExited {
 		return r
 	}
 	r.finished = true
-	got, err := s.Bench.Outputs(m, prog)
+	got, err := e.s.Bench.Outputs(m, prog)
 	if err != nil {
 		// Output extraction can only fail on a broken benchmark
 		// definition, not on FI.
 		r.err = err
 		return r
 	}
-	r.metric = s.Bench.Metric(got, want)
+	r.metric = e.s.Bench.Metric(got, want)
 	r.correct = true
 	for i := range got {
 		if got[i] != want[i] {
@@ -510,6 +569,17 @@ func Run(spec Spec, fMHz float64) (Point, error) {
 	return pts[0], nil
 }
 
+// RunFull evaluates one data point forcing full ISS execution for every
+// trial — the reference implementation of the golden-trace replay fast
+// path, kept the way SweepSerial is kept for the sweep engine: Run must
+// match it bit for bit for a fixed seed (the differential test grid in
+// this package pins the guarantee across benchmarks, models, frequencies
+// and fault semantics).
+func RunFull(spec Spec, fMHz float64) (Point, error) {
+	spec.DisableReplay = true
+	return Run(spec, fMHz)
+}
+
 // Sweep evaluates the configuration over a list of frequencies through
 // the shared-pool scheduler. Like the serial reference path it returns
 // the points of every frequency before the first invalid operating
@@ -570,20 +640,14 @@ func runSerial(spec Spec, fMHz float64) (Point, error) {
 		return Point{}, err
 	}
 
-	var sharedProg *asm.Program
-	var sharedWant []uint32
-	var goldenCycles uint64
-	if !s.Bench.PerTrialInputs {
-		sharedProg, sharedWant, goldenCycles, err = goldenRun(s, s.InputSeed)
-		if err != nil {
-			return Point{}, err
-		}
-	} else {
-		// Use one golden run just to size the watchdog.
-		_, _, goldenCycles, err = goldenRun(s, s.InputSeed)
-		if err != nil {
-			return Point{}, err
-		}
+	// PerTrialInputs benchmarks use the golden run only to size the
+	// watchdog; the shared program and outputs stay nil for them.
+	sharedProg, sharedWant, goldenCycles, err := s.System.GoldenRun(s.Bench, s.InputSeed)
+	if err != nil {
+		return Point{}, err
+	}
+	if s.Bench.PerTrialInputs {
+		sharedProg, sharedWant = nil, nil
 	}
 	watchdog := uint64(float64(goldenCycles) * s.WatchdogFactor)
 
