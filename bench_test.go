@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/artifact"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -273,6 +274,60 @@ func BenchmarkPointFull(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGridWarmVsCold measures the artifact store's warm-start win:
+// Cold builds a fresh system and an empty cache directory per iteration
+// (paying DTA characterization, golden-trace recording, and every
+// trial), Warm replays the identical grid from a populated store with a
+// fresh system (file reads only). The ratio is the per-process cost the
+// persistent cache removes.
+func BenchmarkGridWarmVsCold(b *testing.B) {
+	gridOver := func(st *artifact.Store, resume bool) error {
+		cfg := core.DefaultConfig()
+		cfg.DTA.Cycles = 512
+		sys := core.New(cfg)
+		sys.AttachStore(st)
+		_, err := mc.Grid{
+			Spec: mc.Spec{
+				System: sys,
+				Bench:  bench.Median(),
+				Model:  core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010},
+				Trials: 8,
+				Seed:   2,
+			},
+			Axes:   mc.Axes{Freqs: []float64{700, 740}},
+			Store:  st,
+			Resume: resume,
+		}.Run()
+		return err
+	}
+	b.Run("Cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := artifact.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := gridOver(st, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Warm", func(b *testing.B) {
+		st, err := artifact.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := gridOver(st, false); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := gridOver(st, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkISS measures raw simulator throughput (cycles/sec) on the

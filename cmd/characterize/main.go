@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -25,15 +26,26 @@ func main() {
 	vdd := flag.Float64("vdd", 0.7, "supply voltage in V")
 	cycles := flag.Int("cycles", 8192, "characterization kernel cycles")
 	gen := flag.String("gen", "", "operand generator override (u32, u16, u8, imm16, ...)")
+	cacheDir := flag.String("cache-dir", "", "artifact cache directory (persists characterizations)")
 	quiet := flag.Bool("q", false, "suppress the stderr progress line")
 	flag.Parse()
 
 	cfgAll := core.DefaultConfig()
 	cfgAll.DTA.Cycles = *cycles
 	sysAll := core.New(cfgAll)
+	if *cacheDir != "" {
+		st, err := artifact.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sysAll.AttachStore(st)
+	}
 
 	if *opName == "all" {
 		characterizeAll(sysAll, *vdd, *quiet)
+		if *cacheDir != "" {
+			fmt.Fprintf(os.Stderr, "characterize: cache %s: %s\n", *cacheDir, sysAll.CacheSummary())
+		}
 		return
 	}
 

@@ -1,9 +1,15 @@
 // Command paperrepro regenerates the paper's tables and figures as text
 // series. With -scale 1 it uses the paper's trial counts; smaller scales
-// trade resolution for speed.
+// trade resolution for speed. Every Monte-Carlo figure runs as a
+// declarative grid on the shared engine; with -cache-dir the grid
+// cells, DTA characterizations and golden traces persist, so re-running
+// a figure over a warm cache is almost free. With -format, the point
+// series of the Monte-Carlo tables/figures are additionally written as
+// JSON or CSV.
 //
 //	paperrepro -exp all -scale 0.25
-//	paperrepro -exp fig5 -dta 8192
+//	paperrepro -exp fig5 -dta 8192 -cache-dir .fisim-cache
+//	paperrepro -exp fig1,fig5 -format json -o series.json
 package main
 
 import (
@@ -13,10 +19,12 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mc"
 	"repro/internal/progress"
+	"repro/internal/report"
 )
 
 func main() {
@@ -26,17 +34,29 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "trial-count / resolution scale (1 = paper fidelity)")
 	seed := flag.Int64("seed", 1, "master random seed")
 	dtaCycles := flag.Int("dta", 8192, "DTA characterization kernel cycles per instruction")
+	cacheDir := flag.String("cache-dir", "", "artifact cache directory (characterizations, golden traces, grid cells)")
+	format := flag.String("format", "", "machine-readable series output: json or csv")
+	outFile := flag.String("o", "", "write -format output to this file (default stdout, after the text tables)")
 	quiet := flag.Bool("q", false, "suppress the stderr progress line")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.DTA.Cycles = *dtaCycles
 	sys := core.New(cfg)
+	var store *artifact.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = artifact.Open(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+		sys.AttachStore(store)
+	}
 	var rep *progress.Reporter
 	if !*quiet {
 		rep = progress.New(os.Stderr, "paperrepro")
 	}
 	o := experiments.Options{System: sys, Out: os.Stdout, Scale: *scale, Seed: *seed,
+		Store: store,
 		Progress: func(p mc.Progress) {
 			rep.Update(p.DoneTrials, p.TotalTrials)
 			// Terminate the line at the end of each sweep so the
@@ -46,31 +66,50 @@ func main() {
 			}
 		}}
 
+	// collected gathers every point series a runner produces, for the
+	// optional machine-readable export.
+	var collected []report.Series
+	collect := func(figure string, series []experiments.Series) {
+		for _, s := range series {
+			collected = append(collected, report.Series{
+				Label:  figure + ": " + s.Label,
+				Points: s.Points,
+			})
+		}
+	}
+
 	run := func(name string) error {
 		rep.SetLabel(name)
 		defer rep.Finish()
 		fmt.Printf("==== %s ====\n", name)
 		switch name {
 		case "table1":
-			_, err := experiments.Table1(o)
+			pts, err := experiments.Table1(o)
+			if err == nil {
+				collect("table1", []experiments.Series{{Label: "benchmarks", Points: pts}})
+			}
 			return err
 		case "table2":
 			experiments.Table2(o)
 			return nil
 		case "fig1":
-			_, err := experiments.Fig1(o)
+			s, err := experiments.Fig1(o)
+			collect("fig1", s)
 			return err
 		case "fig2":
 			_, err := experiments.Fig2(o)
 			return err
 		case "fig4":
-			_, err := experiments.Fig4(o)
+			s, err := experiments.Fig4(o)
+			collect("fig4", s)
 			return err
 		case "fig5":
-			_, err := experiments.Fig5(o)
+			s, err := experiments.Fig5(o)
+			collect("fig5", s)
 			return err
 		case "fig6":
-			_, err := experiments.Fig6(o)
+			s, err := experiments.Fig6(o)
+			collect("fig6", s)
 			return err
 		case "fig7":
 			_, err := experiments.Fig7(o)
@@ -85,6 +124,29 @@ func main() {
 	}
 	for _, n := range names {
 		if err := run(strings.TrimSpace(n)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "paperrepro: cache %s: %s\n", *cacheDir, sys.CacheSummary())
+	}
+
+	if *format != "" {
+		cells := 0
+		for _, s := range collected {
+			cells += len(s.Points)
+		}
+		doc := &report.Document{
+			Meta: report.Meta{
+				Tool:  "paperrepro",
+				Seed:  *seed,
+				Cells: cells,
+				Axes:  fmt.Sprintf("exp=%s scale=%g", *exp, *scale),
+				Cache: *cacheDir,
+			},
+			Series: collected,
+		}
+		if err := report.WriteFile(*outFile, os.Stdout, *format, doc); err != nil {
 			log.Fatal(err)
 		}
 	}

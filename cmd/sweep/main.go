@@ -1,11 +1,19 @@
-// Command sweep runs a benchmark under a fault model across a frequency
-// range and prints the four application metrics per point, including the
-// point of first failure and its gain over the STA limit. The whole
-// sweep runs through the shared worker pool of the mc engine, with a
-// progress/ETA line on stderr.
+// Command sweep runs benchmarks under fault models across a frequency
+// range — and, with comma-separated axis values, across a full
+// (benchmark × model × Vdd × sigma × frequency) experiment grid — and
+// prints the four application metrics per point, including each
+// series' point of first failure and its gain over the STA limit. The
+// whole grid runs through the shared worker pool of the mc engine, with
+// a progress/ETA line on stderr.
+//
+// With -cache-dir, DTA characterizations, golden traces and completed
+// grid cells persist across runs: a warm second run skips straight to
+// the numbers, and -resume additionally reuses completed cells so an
+// interrupted grid continues where it stopped.
 //
 //	sweep -bench kmeans -model C -vdd 0.7 -sigma 0.010 -lo 680 -hi 950 -step 10
-//	sweep -bench median -model C -vdd 0.7 -trials-min 25 -trials-max 400
+//	sweep -bench median,kmeans -model B+,C -sigma 0,0.010,0.025 -cache-dir .fisim-cache -resume
+//	sweep -bench median -model C -format json -o sweep.json
 package main
 
 import (
@@ -13,20 +21,46 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/mc"
 	"repro/internal/progress"
+	"repro/internal/report"
 )
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseFloats(flagName, s string) []float64 {
+	var out []float64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			log.Fatalf("-%s: %v", flagName, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
-	name := flag.String("bench", "median", "benchmark name")
-	model := flag.String("model", "C", "fault model: A, B, B+, C")
-	vdd := flag.Float64("vdd", 0.7, "supply voltage in V")
-	sigma := flag.Float64("sigma", 0, "supply noise sigma in V")
+	names := flag.String("bench", "median", "benchmark name(s), comma-separated")
+	models := flag.String("model", "C", "fault model(s): A, B, B+, C (comma-separated)")
+	vdds := flag.String("vdd", "0.7", "supply voltage(s) in V (comma-separated)")
+	sigmas := flag.String("sigma", "0", "supply noise sigma(s) in V (comma-separated)")
 	lo := flag.Float64("lo", 650, "sweep start in MHz")
 	hi := flag.Float64("hi", 1100, "sweep end in MHz")
 	step := flag.Float64("step", 25, "sweep step in MHz")
@@ -36,61 +70,132 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
 	dtaCycles := flag.Int("dta", 8192, "DTA characterization cycles")
+	cacheDir := flag.String("cache-dir", "", "artifact cache directory (characterizations, golden traces, grid cells)")
+	resume := flag.Bool("resume", false, "reuse completed grid cells from -cache-dir")
+	format := flag.String("format", "", "machine-readable output: json or csv (default: text tables)")
+	outFile := flag.String("o", "", "write -format output to this file (default stdout)")
 	quiet := flag.Bool("q", false, "suppress the stderr progress line")
 	flag.Parse()
 
 	if *trialsMin > 0 && *trialsMax <= 0 {
 		log.Fatal("-trials-min has no effect without -trials-max (adaptive mode)")
 	}
-	b, err := bench.ByName(*name)
-	if err != nil {
-		log.Fatal(err)
+	if *resume && *cacheDir == "" {
+		log.Fatal("-resume requires -cache-dir")
+	}
+	var benches []*bench.Benchmark
+	for _, n := range splitList(*names) {
+		b, err := bench.ByName(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		benches = append(benches, b)
 	}
 	cfg := core.DefaultConfig()
 	cfg.DTA.Cycles = *dtaCycles
 	sys := core.New(cfg)
 
+	var store *artifact.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = artifact.Open(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+		sys.AttachStore(store)
+	}
+
 	var rep *progress.Reporter
 	if !*quiet {
 		rep = progress.New(os.Stderr, "sweep")
-	}
-	spec := mc.Spec{
-		System:    sys,
-		Bench:     b,
-		Model:     core.ModelSpec{Kind: *model, Vdd: *vdd, Sigma: *sigma},
-		Trials:    *trials,
-		TrialsMin: *trialsMin,
-		TrialsMax: *trialsMax,
-		Seed:      *seed,
-		Workers:   *workers,
-		Progress: func(p mc.Progress) {
-			rep.Update(p.DoneTrials, p.TotalTrials)
-		},
 	}
 	var freqs []float64
 	for f := *lo; f <= *hi; f += *step {
 		freqs = append(freqs, f)
 	}
-	pts, err := mc.Sweep(spec, freqs)
+	grid := mc.Grid{
+		Spec: mc.Spec{
+			System:    sys,
+			Trials:    *trials,
+			TrialsMin: *trialsMin,
+			TrialsMax: *trialsMax,
+			Seed:      *seed,
+			Workers:   *workers,
+			Progress: func(p mc.Progress) {
+				rep.Update(p.DoneTrials, p.TotalTrials)
+			},
+		},
+		Axes: mc.Axes{
+			Benches: benches,
+			Kinds:   splitList(*models),
+			Vdds:    parseFloats("vdd", *vdds),
+			Sigmas:  parseFloats("sigma", *sigmas),
+			Freqs:   freqs,
+		},
+		Store:  store,
+		Resume: *resume,
+	}
+	cells, err := grid.Run()
 	rep.Finish()
-	if len(pts) > 0 {
-		fmt.Printf("%8s %7s %9s %9s %12s %14s\n",
-			"f[MHz]", "trials", "finished", "correct", "FI/kCycle", b.MetricName)
-		for _, p := range pts {
-			fmt.Printf("%8.1f %7d %8.1f%% %8.1f%% %12.4f %14.6g\n",
-				p.FreqMHz, p.Trials, p.FinishedPct, p.CorrectPct, p.FIRate, p.OutputErr)
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "sweep: cache %s: %s\n", *cacheDir, sys.CacheSummary())
+	}
+	series := report.FromCells(cells)
+
+	if *format != "" {
+		doc := &report.Document{
+			Meta: report.Meta{
+				Tool:  "sweep",
+				Seed:  *seed,
+				Cells: len(cells),
+				Axes: fmt.Sprintf("bench=%s model=%s vdd=%s sigma=%s freq=%g..%g/%g",
+					*names, *models, *vdds, *sigmas, *lo, *hi, *step),
+				Cache: *cacheDir,
+			},
+			Series: series,
 		}
+		if werr := report.WriteFile(*outFile, os.Stdout, *format, doc); werr != nil {
+			log.Fatal(werr)
+		}
+	} else {
+		printSeries(sys, series, len(series) > 1, err != nil)
 	}
 	if err != nil {
-		// A sweep crossing an invalid operating point still reports the
-		// points of the valid prefix before failing.
+		// A grid crossing an invalid operating point still reports the
+		// cells of the valid prefix before failing.
 		log.Fatal(err)
 	}
-	sta := sys.STALimitMHz(*vdd)
-	if poff, ok := mc.PoFF(pts); ok {
-		fmt.Printf("PoFF %.1f MHz, STA limit %.1f MHz, gain %.1f%%\n",
-			poff, sta, mc.GainOverSTA(poff, sta))
-	} else {
-		fmt.Printf("no failure in range (STA limit %.1f MHz)\n", sta)
+}
+
+// printSeries renders each series as the classic sweep table with its
+// PoFF/STA summary; series headers appear once the grid has more than
+// one series. When the grid ended in an error, the last series is a
+// truncated prefix, so its PoFF/no-failure verdict is withheld.
+func printSeries(sys *core.System, series []report.Series, headers, truncated bool) {
+	for i, s := range series {
+		if headers {
+			fmt.Printf("== %s ==\n", s.Label)
+		}
+		metricName := "output-err"
+		if b, err := bench.ByName(s.Bench); err == nil {
+			metricName = b.MetricName
+		}
+		if len(s.Points) > 0 {
+			fmt.Printf("%8s %7s %9s %9s %12s %14s\n",
+				"f[MHz]", "trials", "finished", "correct", "FI/kCycle", metricName)
+			for _, p := range s.Points {
+				fmt.Printf("%8.1f %7d %8.1f%% %8.1f%% %12.4f %14.6g\n",
+					p.FreqMHz, p.Trials, p.FinishedPct, p.CorrectPct, p.FIRate, p.OutputErr)
+			}
+		}
+		if truncated && i == len(series)-1 {
+			continue
+		}
+		sta := sys.STALimitMHz(s.Vdd)
+		if poff, ok := mc.PoFF(s.Points); ok {
+			fmt.Printf("PoFF %.1f MHz, STA limit %.1f MHz, gain %.1f%%\n",
+				poff, sta, mc.GainOverSTA(poff, sta))
+		} else {
+			fmt.Printf("no failure in range (STA limit %.1f MHz)\n", sta)
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/fi"
@@ -31,6 +32,7 @@ func main() {
 	trialsMax := flag.Int("trials-max", 0, "adaptive mode: trial budget (0 = fixed -trials)")
 	seed := flag.Int64("seed", 1, "random seed")
 	dtaCycles := flag.Int("dta", 8192, "DTA characterization cycles")
+	cacheDir := flag.String("cache-dir", "", "artifact cache directory (characterizations, golden traces)")
 	stale := flag.Bool("stale", false, "use stale-capture fault semantics")
 	joint := flag.Bool("joint", false, "use joint (bootstrap) endpoint sampling for model C")
 	quiet := flag.Bool("q", false, "suppress the stderr progress line")
@@ -46,6 +48,13 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.DTA.Cycles = *dtaCycles
 	sys := core.New(cfg)
+	if *cacheDir != "" {
+		st, err := artifact.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.AttachStore(st)
+	}
 
 	sem := fi.FlipBit
 	if *stale {
@@ -89,4 +98,7 @@ func main() {
 	fmt.Printf("FI rate        %.4f per kCycle\n", pt.FIRate)
 	fmt.Printf("output error   %.4g (finished runs)\n", pt.OutputErr)
 	fmt.Printf("kernel cycles  %.0f\n", pt.KernelCycles)
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "timingsim: cache %s: %s\n", *cacheDir, sys.CacheSummary())
+	}
 }

@@ -17,12 +17,14 @@ package repro
 import (
 	"io"
 
+	"repro/internal/artifact"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dta"
 	"repro/internal/experiments"
 	"repro/internal/fi"
 	"repro/internal/mc"
+	"repro/internal/report"
 )
 
 // Re-exported core types; see the internal packages for full
@@ -43,11 +45,29 @@ type (
 	Spec = mc.Spec
 	// Point is one aggregated (configuration, frequency) data point.
 	Point = mc.Point
-	// Progress is a sweep-engine progress snapshot delivered to
+	// Progress is a grid-engine progress snapshot delivered to
 	// Spec.Progress after every completed trial.
 	Progress = mc.Progress
 	// Profile overrides DTA operand generators per ALU unit.
 	Profile = dta.Profile
+	// Grid evaluates a Spec over the cross product of Axes on the shared
+	// worker pool, with optional cell checkpointing to an ArtifactStore.
+	Grid = mc.Grid
+	// Axes lists experiment grid dimensions (benchmarks, model kinds,
+	// voltages, sigmas, operand profiles, frequencies); empty axes
+	// collapse onto the base Spec.
+	Axes = mc.Axes
+	// CellResult is one evaluated grid cell with its coordinate.
+	CellResult = mc.CellResult
+	// ArtifactStore is a persistent on-disk cache of characterizations,
+	// golden traces and completed grid cells.
+	ArtifactStore = artifact.Store
+	// Report is a machine-readable result document (JSON/CSV).
+	Report = report.Document
+	// ReportMeta describes the run that produced a Report.
+	ReportMeta = report.Meta
+	// ReportSeries is one labelled point series of a Report.
+	ReportSeries = report.Series
 )
 
 // Fault semantics and sampling modes for ModelSpec.
@@ -83,12 +103,26 @@ func Run(spec Spec, fMHz float64) (Point, error) { return mc.Run(spec, fMHz) }
 // Spec.DisableReplay to force it inside sweeps).
 func RunFull(spec Spec, fMHz float64) (Point, error) { return mc.RunFull(spec, fMHz) }
 
-// Sweep evaluates a configuration over a frequency list. All
-// (frequency, trial) work items of the sweep share one worker pool, one
-// cached model per operating point, and one cached golden trace, and
-// results are bit-identical to evaluating each frequency on its own for
-// a fixed Spec.Seed.
+// Sweep evaluates a configuration over a frequency list — the
+// single-axis case of the grid engine. All (frequency, trial) work
+// items of the sweep share one worker pool, one cached model per
+// operating point, and one cached golden trace, and results are
+// bit-identical to evaluating each frequency on its own for a fixed
+// Spec.Seed. For multi-axis experiments construct a Grid directly.
 func Sweep(spec Spec, freqs []float64) ([]Point, error) { return mc.Sweep(spec, freqs) }
+
+// OpenArtifactStore opens (creating if necessary) a persistent artifact
+// cache directory; attach it with System.AttachStore and/or Grid.Store.
+// A warm store lets repeated runs skip DTA characterization, golden
+// trace recording, and (for resumed grids) completed cells entirely.
+func OpenArtifactStore(dir string) (*ArtifactStore, error) { return artifact.Open(dir) }
+
+// SeriesFromCells groups grid cells into labelled report series
+// (consecutive cells differing only in frequency fold into one series).
+func SeriesFromCells(cells []CellResult) []ReportSeries { return report.FromCells(cells) }
+
+// WriteReport encodes a result document as "json" or "csv".
+func WriteReport(w io.Writer, format string, d *Report) error { return report.Write(w, format, d) }
 
 // PoFF locates the point of first failure in a sweep.
 func PoFF(points []Point) (float64, bool) { return mc.PoFF(points) }

@@ -1,0 +1,110 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{0, 1, 2, 0xFF, 0x80, 7}
+	if err := st.Put("kind", "key|a=1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get("kind", "key|a=1")
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload drifted: %x != %x", got, payload)
+	}
+	s := st.Stats()
+	if s.Hits != 1 || s.Puts != 1 || s.Misses != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestMissAndKeyIsolation(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get("kind", "absent"); ok || err != nil {
+		t.Fatalf("expected clean miss, got ok=%v err=%v", ok, err)
+	}
+	if err := st.Put("kind", "k1", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// Same key under a different kind is a distinct artifact.
+	if _, ok, _ := st.Get("other", "k1"); ok {
+		t.Error("kind does not partition the key space")
+	}
+}
+
+func TestVersionBumpRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-write a blob framed at a future format version at the exact
+	// path Get will consult.
+	blob, err := encode("kind", "key", []byte("payload"), Version+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.path("kind", "key"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := st.Get("kind", "key")
+	if ok {
+		t.Fatal("version-bumped blob was accepted")
+	}
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestTornBlobIsRejectedNotMisread(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.path("kind", "key"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := st.Get("kind", "key")
+	if ok || err == nil {
+		t.Fatalf("torn blob: ok=%v err=%v, want rejection with error", ok, err)
+	}
+}
+
+func TestGobPayloadRoundTrip(t *testing.T) {
+	type payload struct {
+		F []float64
+		S string
+	}
+	in := payload{F: []float64{1.5, -0.0, 3.1415926535}, S: "x"}
+	b, err := EncodeGob(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := DecodeGob(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.F) != 3 || out.F[2] != in.F[2] || out.S != "x" {
+		t.Fatalf("round-trip drifted: %+v", out)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

@@ -6,11 +6,16 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/artifact"
 	"repro/internal/asm"
 	"repro/internal/bench"
 	"repro/internal/circuit"
@@ -62,6 +67,11 @@ type System struct {
 
 	goldenMu sync.Mutex
 	goldens  map[goldenKey]*Golden
+
+	artifacts *artifact.Store
+
+	goldenRecorded atomic.Int64 // golden traces actually executed+recorded
+	goldenLoaded   atomic.Int64 // golden traces served from the artifact store
 }
 
 // New builds and calibrates a system.
@@ -74,6 +84,42 @@ func New(cfg Config) *System {
 		models:  map[modelKey]fi.Model{},
 		goldens: map[goldenKey]*Golden{},
 	}
+}
+
+// AttachStore wires a persistent artifact store into the system: DTA
+// characterizations and golden traces are loaded from it before being
+// computed and saved to it afterwards. Call right after New, before any
+// simulation. The store is purely an accelerator — every artifact key
+// spells out the full configuration fingerprint, so a mismatched cache
+// directory degrades to cold-start, never to wrong results.
+func (s *System) AttachStore(st *artifact.Store) {
+	s.artifacts = st
+	s.Char.SetStore(st)
+}
+
+// ArtifactStore returns the attached store (nil when running purely
+// in-memory).
+func (s *System) ArtifactStore() *artifact.Store { return s.artifacts }
+
+// Fingerprint canonically encodes the full system configuration. It is
+// the prefix of every artifact cache key derived from this system
+// (fmt sorts map-valued fields by key, so the string is deterministic).
+func (s *System) Fingerprint() string { return fmt.Sprintf("%+v", s.Cfg) }
+
+// GoldenRecordedCount reports how many golden traces this system
+// actually executed and recorded (cache misses all the way through).
+func (s *System) GoldenRecordedCount() int64 { return s.goldenRecorded.Load() }
+
+// GoldenLoadedCount reports how many golden traces were served from the
+// attached artifact store.
+func (s *System) GoldenLoadedCount() int64 { return s.goldenLoaded.Load() }
+
+// CacheSummary renders one line of artifact-cache traffic, for the CLI
+// tools' stderr diagnostics (and the CI warm-start assertion).
+func (s *System) CacheSummary() string {
+	return fmt.Sprintf("characterizations: %d computed, %d loaded; goldens: %d recorded, %d loaded",
+		s.Char.ComputedCount(), s.Char.LoadedCount(),
+		s.goldenRecorded.Load(), s.goldenLoaded.Load())
 }
 
 // STALimitMHz returns the static timing limit at supply v (707 MHz at
@@ -258,9 +304,18 @@ func (s *System) Golden(b *bench.Benchmark, inputSeed int64) (*Golden, error) {
 	if ok {
 		return g, nil
 	}
-	g, err := s.recordGolden(b, inputSeed)
+	g, err := s.loadGolden(b, inputSeed)
 	if err != nil {
 		return nil, err
+	}
+	if g != nil {
+		s.goldenLoaded.Add(1)
+	} else {
+		if g, err = s.recordGolden(b, inputSeed); err != nil {
+			return nil, err
+		}
+		s.goldenRecorded.Add(1)
+		s.saveGolden(b, inputSeed, g)
 	}
 	s.goldenMu.Lock()
 	// Keep the first instance if another goroutine raced us here.
@@ -271,6 +326,109 @@ func (s *System) Golden(b *bench.Benchmark, inputSeed int64) (*Golden, error) {
 	}
 	s.goldenMu.Unlock()
 	return g, nil
+}
+
+// BenchDigest hashes the benchmark's actual program content at an input
+// seed — the generated source and the expected output words — so cache
+// keys survive benchmark *code* changes, not just renames: editing a
+// kernel in internal/bench invalidates every artifact recorded against
+// the old program instead of silently replaying a stale trace.
+func BenchDigest(b *bench.Benchmark, inputSeed int64) (string, error) {
+	src, want, err := b.Build(inputSeed)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	io.WriteString(h, b.Name)
+	h.Write([]byte{0})
+	io.WriteString(h, src)
+	h.Write([]byte{0})
+	for _, w := range want {
+		h.Write([]byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}
+
+// goldenStoreKey spells out every input the recorded trace depends on:
+// the benchmark program content (via BenchDigest) and its input seed,
+// the CPU timing configuration (which determines every cycle count and
+// checkpoint boundary), the checkpoint interval, and the recording
+// watchdog.
+func (s *System) goldenStoreKey(b *bench.Benchmark, inputSeed int64) (string, error) {
+	digest, err := BenchDigest(b, inputSeed)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("cpu=%+v|bench=%s|prog=%s|inputSeed=%d|ckpt=%d|watchdog=%d",
+		s.Cfg.CPU, b.Name, digest, inputSeed, cpu.DefaultCheckpointInterval, goldenWatchdog), nil
+}
+
+// loadGolden fetches a persisted golden trace. The program and expected
+// outputs are rebuilt from the benchmark definition (assembly is cheap
+// and deterministic); only the expensive part — the recorded execution —
+// comes from disk. Returns (nil, nil) on a miss or any untrusted blob,
+// in which case the caller records fresh.
+func (s *System) loadGolden(b *bench.Benchmark, inputSeed int64) (*Golden, error) {
+	if s.artifacts == nil {
+		return nil, nil
+	}
+	key, err := s.goldenStoreKey(b, inputSeed)
+	if err != nil {
+		return nil, err
+	}
+	payload, ok, _ := s.artifacts.Get(artifact.KindGoldenTrace, key)
+	if !ok {
+		return nil, nil
+	}
+	var tr cpu.Trace
+	if err := artifact.DecodeGob(payload, &tr); err != nil {
+		return nil, nil
+	}
+	if tr.Status != cpu.StatusExited || len(tr.Checkpoints) == 0 {
+		// A trace that did not exit cleanly (or predates checkpoint-at-0
+		// recording) cannot serve replay; recompute.
+		return nil, nil
+	}
+	src, want, err := b.Build(inputSeed)
+	if err != nil {
+		return nil, err
+	}
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", b.Name, err)
+	}
+	g := &Golden{Prog: p, Want: want, Trace: &tr}
+	g.Queries = queriesOf(&tr)
+	return g, nil
+}
+
+// saveGolden persists a freshly recorded trace; write failures are
+// ignored (the run already holds its in-memory instance).
+func (s *System) saveGolden(b *bench.Benchmark, inputSeed int64, g *Golden) {
+	if s.artifacts == nil {
+		return
+	}
+	key, err := s.goldenStoreKey(b, inputSeed)
+	if err != nil {
+		return
+	}
+	payload, err := artifact.EncodeGob(g.Trace)
+	if err != nil {
+		return
+	}
+	_ = s.artifacts.Put(artifact.KindGoldenTrace, key, payload)
+}
+
+// queriesOf derives the fi-facing query stream from a trace's ALU events.
+func queriesOf(tr *cpu.Trace) []fi.TraceQuery {
+	qs := make([]fi.TraceQuery, len(tr.Events))
+	for i, ev := range tr.Events {
+		qs[i] = fi.TraceQuery{
+			Op: ev.Op, Result: ev.Result, Prev: ev.Prev,
+			Flag: ev.Flag, PrevFlag: ev.PrevFlag,
+		}
+	}
+	return qs
 }
 
 // GoldenRun executes the benchmark fault-free without caching or trace
@@ -293,14 +451,7 @@ func (s *System) recordGolden(b *bench.Benchmark, inputSeed int64) (*Golden, err
 	if err != nil {
 		return nil, err
 	}
-	qs := make([]fi.TraceQuery, len(g.Trace.Events))
-	for i, ev := range g.Trace.Events {
-		qs[i] = fi.TraceQuery{
-			Op: ev.Op, Result: ev.Result, Prev: ev.Prev,
-			Flag: ev.Flag, PrevFlag: ev.PrevFlag,
-		}
-	}
-	g.Queries = qs
+	g.Queries = queriesOf(g.Trace)
 	return g, nil
 }
 

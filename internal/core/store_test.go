@@ -1,0 +1,123 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/bench"
+	"repro/internal/dta"
+)
+
+func newStoreTestSystem(t *testing.T, st *artifact.Store) *System {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.DTA = dta.Config{Cycles: 256, Seed: 5}
+	s := New(cfg)
+	s.AttachStore(st)
+	return s
+}
+
+// A golden trace persisted by one system must come back bit-identical
+// from a fresh system over the same store, without re-executing.
+func TestGoldenTraceStoreRoundTrip(t *testing.T) {
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bench.Median()
+
+	cold := newStoreTestSystem(t, st)
+	g1, err := cold.Golden(b, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.GoldenRecordedCount() != 1 || cold.GoldenLoadedCount() != 0 {
+		t.Fatalf("cold counters: recorded %d, loaded %d",
+			cold.GoldenRecordedCount(), cold.GoldenLoadedCount())
+	}
+
+	warm := newStoreTestSystem(t, st)
+	g2, err := warm.Golden(b, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.GoldenRecordedCount() != 0 || warm.GoldenLoadedCount() != 1 {
+		t.Fatalf("warm counters: recorded %d, loaded %d — store was not consulted",
+			warm.GoldenRecordedCount(), warm.GoldenLoadedCount())
+	}
+
+	// The whole recorded execution must round-trip bit for bit: events
+	// (the injector argument stream), the store log, every checkpoint,
+	// and the run totals.
+	if !reflect.DeepEqual(g1.Trace.Events, g2.Trace.Events) {
+		t.Error("trace events drifted through the store")
+	}
+	if !reflect.DeepEqual(g1.Trace.Stores, g2.Trace.Stores) {
+		t.Error("store log drifted through the store")
+	}
+	if !reflect.DeepEqual(g1.Trace.Checkpoints, g2.Trace.Checkpoints) {
+		t.Error("checkpoints drifted through the store")
+	}
+	if g1.Trace.Cycles != g2.Trace.Cycles || g1.Trace.KernelCycles != g2.Trace.KernelCycles ||
+		g1.Trace.KernelALUCycles != g2.Trace.KernelALUCycles ||
+		g1.Trace.Retired != g2.Trace.Retired || g1.Trace.Status != g2.Trace.Status ||
+		g1.Trace.CheckpointEvery != g2.Trace.CheckpointEvery {
+		t.Error("trace totals drifted through the store")
+	}
+	if !reflect.DeepEqual(g1.Queries, g2.Queries) {
+		t.Error("derived query stream drifted")
+	}
+	if !reflect.DeepEqual(g1.Want, g2.Want) {
+		t.Error("rebuilt golden outputs drifted")
+	}
+}
+
+// Different input seeds and different CPU configs must not alias.
+func TestGoldenStoreKeySeparation(t *testing.T) {
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bench.Median()
+	s1 := newStoreTestSystem(t, st)
+	if _, err := s1.Golden(b, 42); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newStoreTestSystem(t, st)
+	if _, err := s2.Golden(b, 43); err != nil {
+		t.Fatal(err)
+	}
+	if s2.GoldenLoadedCount() != 0 {
+		t.Error("different input seed was served from the other seed's trace")
+	}
+
+	cfg := DefaultConfig()
+	cfg.DTA = dta.Config{Cycles: 256, Seed: 5}
+	cfg.CPU.BranchPenalty++
+	s3 := New(cfg)
+	s3.AttachStore(st)
+	if _, err := s3.Golden(b, 42); err != nil {
+		t.Fatal(err)
+	}
+	if s3.GoldenLoadedCount() != 0 {
+		t.Error("different CPU timing config was served from the other config's trace")
+	}
+
+	// A benchmark whose *program content* changed (same name) must miss
+	// too: the key digests the generated source, not just the name.
+	edited := *b
+	origBuild := b.Build
+	edited.Build = func(seed int64) (string, []uint32, error) {
+		src, want, err := origBuild(seed)
+		return src + "\n", want, err
+	}
+	s4 := newStoreTestSystem(t, st)
+	if _, err := s4.Golden(&edited, 42); err != nil {
+		t.Fatal(err)
+	}
+	if s4.GoldenLoadedCount() != 0 {
+		t.Error("edited benchmark source was served the stale trace of the original program")
+	}
+}

@@ -18,7 +18,9 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/artifact"
 	"repro/internal/circuit"
 	"repro/internal/gates"
 	"repro/internal/isa"
@@ -162,6 +164,10 @@ type Config struct {
 func DefaultConfig() Config { return Config{Cycles: 8192, Seed: 1} }
 
 // Characterizer runs and caches DTA characterizations for one ALU.
+// Beyond the in-memory cache, an attached artifact.Store persists
+// characterizations across processes: At consults the store before
+// simulating, so a warm cache directory turns the most expensive phase
+// of a cold run into a file read.
 type Characterizer struct {
 	ALU   *circuit.ALU
 	Model timing.VddDelay
@@ -169,6 +175,10 @@ type Characterizer struct {
 
 	mu    sync.Mutex
 	cache map[cacheKey]*entry
+	store *artifact.Store
+
+	computed atomic.Int64 // characterizations actually simulated
+	loaded   atomic.Int64 // characterizations served from the store
 }
 
 type cacheKey struct {
@@ -194,6 +204,20 @@ func NewCharacterizer(alu *circuit.ALU, model timing.VddDelay, cfg Config) *Char
 	}
 }
 
+// SetStore attaches a persistent artifact store. Must be called before
+// the first At (i.e. right after construction); characterizations are
+// then loaded from the store when present and saved to it when computed.
+func (c *Characterizer) SetStore(st *artifact.Store) { c.store = st }
+
+// ComputedCount reports how many characterizations this characterizer
+// actually simulated (as opposed to serving from memory or the store) —
+// the warm-start assertion of the artifact cache.
+func (c *Characterizer) ComputedCount() int64 { return c.computed.Load() }
+
+// LoadedCount reports how many characterizations were served from the
+// attached artifact store.
+func (c *Characterizer) LoadedCount() int64 { return c.loaded.Load() }
+
 // At returns the characterization for a key at the given supply voltage,
 // computing it on first use. It is safe for concurrent use and distinct
 // keys characterize in parallel.
@@ -210,9 +234,96 @@ func (c *Characterizer) At(key Key, voltage float64) (*Characterization, error) 
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
+		if ch, ok := c.load(key, voltage); ok {
+			e.ch = ch
+			c.loaded.Add(1)
+			return
+		}
 		e.ch = c.run(key, voltage)
+		c.computed.Add(1)
+		c.save(e.ch)
 	})
 	return e.ch, nil
+}
+
+// storeKey spells out every input a characterization depends on: the
+// netlist generation config (gate delays, process-variation seed,
+// calibration), the Vdd-delay model, the characterization config
+// (cycles, operand seed), and the (unit, generator, voltage) coordinate
+// itself. Map-valued fields print in sorted key order, so the string is
+// canonical.
+func (c *Characterizer) storeKey(key Key, voltage float64) string {
+	return fmt.Sprintf("circuit=%+v|vdd=%+v|dta=%+v|unit=%d|gen=%s|mV=%d",
+		c.ALU.Config, c.Model, c.Cfg, key.Unit, key.Gen,
+		int(math.Round(voltage*1000)))
+}
+
+// charWire is the persisted form of a Characterization: the raw arrival
+// matrix and scalars. CDFs are rebuilt from the arrivals on load (NewCDF
+// is deterministic), so the decoded characterization is bit-identical to
+// the computed one.
+type charWire struct {
+	Unit        int
+	Gen         string
+	Voltage     float64
+	Cycles      int
+	Arrivals    [][]float64
+	MaxPerCycle []float64
+	SetupPs     float64
+	MaxPs       float64
+}
+
+// load fetches a characterization from the attached store. Any failure —
+// miss, torn blob, version mismatch — falls back to computing; the
+// store is an accelerator, never a correctness dependency.
+func (c *Characterizer) load(key Key, voltage float64) (*Characterization, bool) {
+	if c.store == nil {
+		return nil, false
+	}
+	payload, ok, _ := c.store.Get(artifact.KindCharacterization, c.storeKey(key, voltage))
+	if !ok {
+		return nil, false
+	}
+	var w charWire
+	if err := artifact.DecodeGob(payload, &w); err != nil {
+		return nil, false
+	}
+	ch := &Characterization{
+		Key:         Key{Unit: circuit.UnitKind(w.Unit), Gen: w.Gen},
+		Voltage:     w.Voltage,
+		Cycles:      w.Cycles,
+		Arrivals:    w.Arrivals,
+		MaxPerCycle: w.MaxPerCycle,
+		SetupPs:     w.SetupPs,
+		MaxPs:       w.MaxPs,
+	}
+	ch.CDFs = make([]*timing.CDF, len(w.Arrivals))
+	for e := range ch.CDFs {
+		ch.CDFs[e] = timing.NewCDF(w.Arrivals[e], w.SetupPs)
+	}
+	return ch, true
+}
+
+// save persists a freshly computed characterization; write failures are
+// ignored (the run already has its in-memory result).
+func (c *Characterizer) save(ch *Characterization) {
+	if c.store == nil {
+		return
+	}
+	payload, err := artifact.EncodeGob(charWire{
+		Unit:        int(ch.Key.Unit),
+		Gen:         ch.Key.Gen,
+		Voltage:     ch.Voltage,
+		Cycles:      ch.Cycles,
+		Arrivals:    ch.Arrivals,
+		MaxPerCycle: ch.MaxPerCycle,
+		SetupPs:     ch.SetupPs,
+		MaxPs:       ch.MaxPs,
+	})
+	if err != nil {
+		return
+	}
+	_ = c.store.Put(artifact.KindCharacterization, c.storeKey(ch.Key, ch.Voltage), payload)
 }
 
 // ForOp resolves and characterizes the op's key under a profile.

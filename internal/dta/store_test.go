@@ -1,0 +1,139 @@
+package dta
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/circuit"
+	"repro/internal/timing"
+)
+
+func newSmallCharacterizer() *Characterizer {
+	return NewCharacterizer(circuit.New(circuit.DefaultConfig()),
+		timing.DefaultVddDelay(), Config{Cycles: 512, Seed: 5})
+}
+
+// Characterization must not depend on how many goroutines drive the
+// characterizer: the soundness of artifact cache keys (which do not
+// mention worker counts) rests on the arrival matrices being a pure
+// function of (config, key, voltage). One characterizer is driven
+// serially, the other by 16 concurrent goroutines hammering the same
+// and different keys; every endpoint CDF must be bit-identical.
+func TestCharacterizationDeterministicUnderConcurrency(t *testing.T) {
+	keys := []Key{
+		{Unit: circuit.UnitAdd, Gen: "u32"},
+		{Unit: circuit.UnitAdd, Gen: "u16"},
+		{Unit: circuit.UnitMul, Gen: "u32"},
+		{Unit: circuit.UnitAnd, Gen: "zimm16"},
+	}
+	serial := newSmallCharacterizer()
+	for _, k := range keys {
+		if _, err := serial.At(k, 0.7); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	parallel := newSmallCharacterizer()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		for _, k := range keys {
+			wg.Add(1)
+			go func(k Key) {
+				defer wg.Done()
+				if _, err := parallel.At(k, 0.7); err != nil {
+					t.Error(err)
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+
+	for _, k := range keys {
+		a, _ := serial.At(k, 0.7)
+		b, _ := parallel.At(k, 0.7)
+		if !reflect.DeepEqual(a.Arrivals, b.Arrivals) {
+			t.Errorf("%v: arrival matrix differs between serial and concurrent characterization", k)
+		}
+		if a.MaxPs != b.MaxPs || a.SetupPs != b.SetupPs {
+			t.Errorf("%v: scalars differ: %v/%v vs %v/%v", k, a.MaxPs, a.SetupPs, b.MaxPs, b.SetupPs)
+		}
+		for e := range a.CDFs {
+			if a.CDFs[e].MaxPs() != b.CDFs[e].MaxPs() ||
+				a.CDFs[e].ViolationProb(circuit.PeriodPs(1200)) != b.CDFs[e].ViolationProb(circuit.PeriodPs(1200)) {
+				t.Errorf("%v endpoint %d: CDF differs", k, e)
+			}
+		}
+	}
+}
+
+// A second characterizer over the same store must serve every
+// characterization from disk, bit-identical to the computed original.
+func TestCharacterizationStoreRoundTrip(t *testing.T) {
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Unit: circuit.UnitMul, Gen: "u16"}
+
+	cold := newSmallCharacterizer()
+	cold.SetStore(st)
+	chCold, err := cold.At(key, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.ComputedCount() != 1 || cold.LoadedCount() != 0 {
+		t.Fatalf("cold counters: computed %d, loaded %d", cold.ComputedCount(), cold.LoadedCount())
+	}
+
+	warm := newSmallCharacterizer()
+	warm.SetStore(st)
+	chWarm, err := warm.At(key, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.ComputedCount() != 0 || warm.LoadedCount() != 1 {
+		t.Fatalf("warm counters: computed %d, loaded %d — store was not consulted", warm.ComputedCount(), warm.LoadedCount())
+	}
+	if !reflect.DeepEqual(chCold.Arrivals, chWarm.Arrivals) ||
+		!reflect.DeepEqual(chCold.MaxPerCycle, chWarm.MaxPerCycle) {
+		t.Error("persisted arrival matrix not bit-identical")
+	}
+	if chCold.SetupPs != chWarm.SetupPs || chCold.MaxPs != chWarm.MaxPs ||
+		chCold.Cycles != chWarm.Cycles || chCold.Key != chWarm.Key {
+		t.Errorf("persisted scalars drifted: %+v vs %+v", chCold.Key, chWarm.Key)
+	}
+	for e := range chCold.CDFs {
+		for _, f := range []float64{800, 1200, 1600, 2400} {
+			p := circuit.PeriodPs(f)
+			if chCold.CDFs[e].ViolationProb(p) != chWarm.CDFs[e].ViolationProb(p) {
+				t.Fatalf("endpoint %d CDF differs at %v MHz", e, f)
+			}
+		}
+	}
+}
+
+// A characterizer with a different configuration must never hit blobs
+// written under another one.
+func TestStoreKeySeparatesConfigs(t *testing.T) {
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Unit: circuit.UnitAdd, Gen: "u32"}
+	a := newSmallCharacterizer()
+	a.SetStore(st)
+	if _, err := a.At(key, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	b := NewCharacterizer(circuit.New(circuit.DefaultConfig()),
+		timing.DefaultVddDelay(), Config{Cycles: 512, Seed: 6}) // different operand seed
+	b.SetStore(st)
+	if _, err := b.At(key, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if b.LoadedCount() != 0 {
+		t.Error("characterization with a different DTA seed was served from the other config's blob")
+	}
+}

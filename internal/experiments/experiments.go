@@ -6,6 +6,13 @@
 // chip), so EXPERIMENTS.md records paper-vs-measured for each; the
 // orderings, transition regions and crossovers are the reproduction
 // targets.
+//
+// Every Monte-Carlo table and figure is declared as an mc.Grid — the
+// axes it spans (benchmarks, model kinds, voltages, sigmas,
+// frequencies) rather than hand-written nested loops — and runs on the
+// shared grid engine. With Options.Store attached, completed cells,
+// characterizations and golden traces persist across processes, so
+// regenerating a figure over a warm cache costs file reads.
 package experiments
 
 import (
@@ -13,6 +20,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/artifact"
 	"repro/internal/asm"
 	"repro/internal/bench"
 	"repro/internal/circuit"
@@ -51,9 +59,13 @@ type Options struct {
 	Out    io.Writer
 	Seed   int64
 	Scale  float64
-	// Progress, when non-nil, receives sweep-engine progress snapshots
+	// Progress, when non-nil, receives grid-engine progress snapshots
 	// from every Monte-Carlo run a figure performs (see mc.Spec.Progress).
 	Progress func(mc.Progress)
+	// Store, when non-nil, checkpoints completed grid cells and resumes
+	// from them, in addition to the characterization/golden-trace caches
+	// the System itself consults.
+	Store *artifact.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +111,21 @@ func (o Options) spec(b *bench.Benchmark, model core.ModelSpec, fullTrials int) 
 	}
 }
 
+// runGrid evaluates one declarative grid through the shared engine,
+// wiring the options' artifact store for cell checkpoint/resume.
+func (o Options) runGrid(spec mc.Spec, axes mc.Axes) ([]mc.CellResult, error) {
+	return mc.Grid{Spec: spec, Axes: axes, Store: o.Store, Resume: o.Store != nil}.Run()
+}
+
+// pointsOf strips cell metadata from a slice of grid cells.
+func pointsOf(cells []mc.CellResult) []mc.Point {
+	pts := make([]mc.Point, len(cells))
+	for i, c := range cells {
+		pts[i] = c.Point
+	}
+	return pts
+}
+
 // Series is one labelled sweep result.
 type Series struct {
 	Label  string
@@ -117,27 +144,31 @@ func printPoints(w io.Writer, pts []mc.Point) {
 
 // Table1 reproduces the benchmark-properties table: type, workload size,
 // kernel cycles and output-error metric, measured on our implementations.
+// Declaratively it is the (benchmark) axis of the grid at one fault-free
+// operating point, one trial per cell.
 func Table1(o Options) ([]mc.Point, error) {
 	o = o.withDefaults()
 	fmt.Fprintln(o.Out, "Table 1: benchmark properties (measured)")
 	fmt.Fprintf(o.Out, "  %-16s %-12s %-10s %-10s %12s %-28s\n",
 		"benchmark", "compute", "control", "mul-frac", "kCycles", "output error metric")
-	var pts []mc.Point
-	for _, b := range bench.All() {
-		spec := o.spec(b, core.ModelSpec{Kind: "none"}, 1)
-		spec.Trials = 1
-		pt, err := mc.Run(spec, 700)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", b.Name, err)
-		}
-		mix, err := kernelMix(spec)
+	spec := o.spec(nil, core.ModelSpec{Kind: "none"}, 1)
+	spec.Trials = 1
+	cells, err := o.runGrid(spec, mc.Axes{
+		Benches: bench.All(),
+		Freqs:   []float64{700},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+	pts := pointsOf(cells)
+	for i, b := range bench.All() {
+		mix, err := kernelMix(o.System, b)
 		if err != nil {
 			return nil, err
 		}
 		compute, control := classify(mix)
 		fmt.Fprintf(o.Out, "  %-16s %-12s %-10s %-10.3f %12.0f %-28s\n",
-			b.Name, compute, control, mix.mulFrac, pt.KernelCycles/1000, b.MetricName)
-		pts = append(pts, pt)
+			b.Name, compute, control, mix.mulFrac, pts[i].KernelCycles/1000, b.MetricName)
 	}
 	return pts, nil
 }
@@ -146,13 +177,13 @@ type mixInfo struct {
 	mulFrac, cmpFrac, branchFrac, aluFrac float64
 }
 
-func kernelMix(spec mc.Spec) (mixInfo, error) {
+func kernelMix(sys *core.System, b *bench.Benchmark) (mixInfo, error) {
 	// Re-run fault-free on a private CPU to read the instruction mix.
-	src, _, err := spec.Bench.Build(42)
+	src, _, err := b.Build(42)
 	if err != nil {
 		return mixInfo{}, err
 	}
-	c, err := runSourceGolden(src, spec.System.Cfg.CPU)
+	c, err := runSourceGolden(src, sys.Cfg.CPU)
 	if err != nil {
 		return mixInfo{}, err
 	}
@@ -233,11 +264,15 @@ func Fig1(o Options) ([]Series, error) {
 		if mb, ok := probe.(interface{ FirstFIMHz() float64 }); ok {
 			first = mb.FirstFIMHz()
 		}
-		freqs := o.freqs(math.Floor(first)-1, math.Floor(first)+4, 0.5)
-		pts, err := mc.Sweep(o.spec(med, model, 100), freqs)
+		// Each static-model series is a single-axis grid over the narrow
+		// band above its own first-FI frequency.
+		cells, err := o.runGrid(o.spec(med, model, 100), mc.Axes{
+			Freqs: o.freqs(math.Floor(first)-1, math.Floor(first)+4, 0.5),
+		})
 		if err != nil {
 			return nil, err
 		}
+		pts := pointsOf(cells)
 		fmt.Fprintf(o.Out, "Fig 1 %s: first FI at %.1f MHz (paper: 707 / 661 / 588)\n", cfg.label, first)
 		printPoints(o.Out, pts)
 		out = append(out, Series{Label: cfg.label, Points: pts})
@@ -305,14 +340,19 @@ func Fig2(o Options) (map[string][]float64, error) {
 func Fig4(o Options) ([]Series, error) {
 	o = o.withDefaults()
 	freqs := o.freqs(650, 1150, 25)
-	var out []Series
+	benches := []*bench.Benchmark{bench.MicroMul16(), bench.MicroAdd32(), bench.MicroAdd16()}
 	fmt.Fprintln(o.Out, "Fig 4: MSE vs frequency per instruction (model C, 0.7V, sigma=10mV)")
-	for _, b := range []*bench.Benchmark{bench.MicroMul16(), bench.MicroAdd32(), bench.MicroAdd16()} {
-		model := core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010}
-		pts, err := mc.Sweep(o.spec(b, model, 100), freqs)
-		if err != nil {
-			return nil, err
-		}
+	// One two-axis grid: (microkernel × frequency) under model C.
+	cells, err := o.runGrid(
+		o.spec(nil, core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010}, 100),
+		mc.Axes{Benches: benches, Freqs: freqs},
+	)
+	if err != nil {
+		return nil, err
+	}
+	var out []Series
+	for i, b := range benches {
+		pts := pointsOf(cells[i*len(freqs) : (i+1)*len(freqs)])
 		first := math.NaN()
 		for _, p := range pts {
 			if p.OutputErr > 0 {
@@ -343,13 +383,18 @@ func Fig5(o Options) ([]Series, error) {
 		{0.8, 0}, {0.8, 0.010}, {0.8, 0.025},
 	} {
 		sta := o.System.STALimitMHz(cfg.vdd)
+		// Each (Vdd, sigma) series spans its own frequency band around
+		// that voltage's STA limit, so the declaration stays per-series.
 		lo := math.Max(620, sta*0.92-40*1000*cfg.sigma)
 		hi := math.Min(sta*1.45, o.System.NonALUSafeMHz(cfg.vdd)-1)
 		model := core.ModelSpec{Kind: "C", Vdd: cfg.vdd, Sigma: cfg.sigma}
-		pts, err := mc.Sweep(o.spec(med, model, 200), o.freqs(lo, hi, 10))
+		cells, err := o.runGrid(o.spec(med, model, 200), mc.Axes{
+			Freqs: o.freqs(lo, hi, 10),
+		})
 		if err != nil {
 			return nil, err
 		}
+		pts := pointsOf(cells)
 		label := fmt.Sprintf("Vdd=%.1fV sigma=%.0fmV", cfg.vdd, cfg.sigma*1000)
 		fmt.Fprintf(o.Out, "Fig 5 %s: STA limit %.0f MHz", label, sta)
 		if poff, ok := mc.PoFF(pts); ok {
@@ -379,14 +424,21 @@ func Fig6(o Options) ([]Series, error) {
 			mb.FirstFIMHz())
 	}
 	sta := o.System.STALimitMHz(0.7)
-	for _, b := range []*bench.Benchmark{
+	benches := []*bench.Benchmark{
 		bench.MatMult8(), bench.MatMult16(), bench.KMeans(), bench.Dijkstra(),
-	} {
-		model := core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010}
-		pts, err := mc.Sweep(o.spec(b, model, 100), o.freqs(680, 1000, 10))
-		if err != nil {
-			return nil, err
-		}
+	}
+	freqs := o.freqs(680, 1000, 10)
+	// One two-axis grid: (application benchmark × frequency) under
+	// model C at the shared operating conditions.
+	cells, err := o.runGrid(
+		o.spec(nil, core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010}, 100),
+		mc.Axes{Benches: benches, Freqs: freqs},
+	)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		pts := pointsOf(cells[i*len(freqs) : (i+1)*len(freqs)])
 		fmt.Fprintf(o.Out, "Fig 6 (%s):", b.Name)
 		if poff, ok := mc.PoFF(pts); ok {
 			fmt.Fprintf(o.Out, " PoFF %.0f MHz (gain %.1f%% over STA %.0f)", poff, mc.GainOverSTA(poff, sta), sta)
@@ -428,17 +480,27 @@ func Fig7(o Options) (map[string][]Fig7Point, error) {
 	for v := timing.VRef; v >= 0.630-1e-9; v -= vStep {
 		volts = append(volts, v)
 	}
-	for _, sigma := range []float64{0, 0.010, 0.025} {
+	// One two-axis grid: (Vdd × sigma) under model C at the fixed
+	// nominal clock. The series rendering below still truncates each
+	// sigma's frontier once the error saturates, as the paper's figure
+	// does.
+	sigmas := []float64{0, 0.010, 0.025}
+	cells, err := o.runGrid(
+		o.spec(med, core.ModelSpec{Kind: "C"}, 100),
+		mc.Axes{Vdds: volts, Sigmas: sigmas, Freqs: []float64{fNom}},
+	)
+	if err != nil {
+		return nil, err
+	}
+	// Enumeration is Vdd-major, sigma inner: cell (vi, si) sits at
+	// vi*len(sigmas)+si.
+	for si, sigma := range sigmas {
 		label := fmt.Sprintf("sigma=%.0fmV", sigma*1000)
 		var series []Fig7Point
 		fmt.Fprintf(o.Out, "Fig 7 (%s): fixed f = %.0f MHz\n", label, fNom)
 		fmt.Fprintf(o.Out, "  %8s %10s %12s %10s\n", "Vdd[V]", "P/Pnom", "avg-rel-err", "finished")
-		for _, v := range volts {
-			model := core.ModelSpec{Kind: "C", Vdd: v, Sigma: sigma}
-			pt, err := mc.Run(o.spec(med, model, 100), fNom)
-			if err != nil {
-				return nil, err
-			}
+		for vi, v := range volts {
+			pt := cells[vi*len(sigmas)+si].Point
 			fp := Fig7Point{
 				Vdd:             v,
 				NormalizedPower: pm.Normalized(v, timing.VRef, fNom),

@@ -1,0 +1,230 @@
+// The multi-axis experiment grid: declarative enumeration of cells over
+// (benchmark × model kind × Vdd × sigma × operand profile × frequency),
+// scheduled as one flat (cell, trial) work pool, with optional
+// cell-level checkpointing to an artifact store for warm restarts.
+
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/artifact"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dta"
+)
+
+// Axes lists the grid dimensions. An empty axis collapses to the single
+// value already present in the grid's base Spec (Spec.Bench for
+// Benches, the corresponding Spec.Model field for the others), so a
+// Grid with only Freqs set is exactly a frequency sweep and a Grid with
+// no axes at all is a single data point. A nil Profiles entry resolves
+// to the cell benchmark's own operand profile, matching the sweep
+// engine's historical defaulting.
+type Axes struct {
+	Benches  []*bench.Benchmark
+	Kinds    []string // fault model kinds: "none", "A", "B", "B+", "C"
+	Vdds     []float64
+	Sigmas   []float64
+	Profiles []dta.Profile
+	Freqs    []float64
+}
+
+// withDefaults collapses empty axes onto the base spec's values.
+func (a Axes) withDefaults(s Spec) Axes {
+	if len(a.Benches) == 0 {
+		a.Benches = []*bench.Benchmark{s.Bench}
+	}
+	if len(a.Kinds) == 0 {
+		a.Kinds = []string{s.Model.Kind}
+	}
+	if len(a.Vdds) == 0 {
+		a.Vdds = []float64{s.Model.Vdd}
+	}
+	if len(a.Sigmas) == 0 {
+		a.Sigmas = []float64{s.Model.Sigma}
+	}
+	if len(a.Profiles) == 0 {
+		a.Profiles = []dta.Profile{s.Model.Profile}
+	}
+	if len(a.Freqs) == 0 {
+		a.Freqs = []float64{s.Model.FreqMHz}
+	}
+	return a
+}
+
+// Cell is one fully resolved grid coordinate: a benchmark and a
+// complete model spec (operating point and profile included).
+type Cell struct {
+	Bench *bench.Benchmark
+	Model core.ModelSpec
+}
+
+// CellResult is one evaluated grid cell. Cached marks cells that were
+// loaded from the artifact store instead of recomputed (grid resume).
+type CellResult struct {
+	Bench  string
+	Model  core.ModelSpec
+	Cached bool
+	Point  Point
+}
+
+// Grid evaluates a base Spec over the cross product of its Axes. Every
+// (cell, trial) pair of the whole grid is drawn from one shared worker
+// pool, cells of one benchmark share one golden execution context, and
+// each cell's numbers are bit-identical to evaluating that cell alone
+// with Run for the same Spec.Seed (trial RNG depends only on (Seed,
+// trial index), aggregation is in trial-index order).
+//
+// With a Store attached, every completed cell is checkpointed under a
+// key derived from the system fingerprint, the spec, and the cell
+// coordinate; a later Grid with Resume set loads those cells instead of
+// recomputing them, so an interrupted run continues where it stopped.
+type Grid struct {
+	Spec Spec
+	Axes Axes
+	// Store, when non-nil, receives completed cells; Resume additionally
+	// consults it before scheduling a cell.
+	Store  *artifact.Store
+	Resume bool
+}
+
+// Cells enumerates the grid's coordinates in their fixed evaluation
+// order: benchmark-major, then kind, Vdd, sigma, profile, and frequency
+// innermost (so a single-axis frequency grid enumerates exactly like a
+// sweep).
+func (g Grid) Cells() []Cell {
+	s := g.Spec.withDefaults()
+	a := g.Axes.withDefaults(s)
+	cells := make([]Cell, 0, len(a.Benches)*len(a.Kinds)*len(a.Vdds)*len(a.Sigmas)*len(a.Profiles)*len(a.Freqs))
+	for _, b := range a.Benches {
+		for _, kind := range a.Kinds {
+			for _, vdd := range a.Vdds {
+				for _, sigma := range a.Sigmas {
+					for _, prof := range a.Profiles {
+						for _, f := range a.Freqs {
+							ms := s.Model
+							ms.Kind = kind
+							ms.Vdd = vdd
+							ms.Sigma = sigma
+							ms.FreqMHz = f
+							ms.Profile = prof
+							if ms.Profile == nil {
+								ms.Profile = b.Profile
+							}
+							cells = append(cells, Cell{Bench: b, Model: ms})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// cellKey spells out everything a cell's Point depends on: the system
+// fingerprint (netlists, DTA, Vdd-delay, CPU timing), the benchmark's
+// program content (core.BenchDigest, so editing a kernel invalidates
+// its cells) and input seed, the resolved model spec, and every
+// trial-allocation parameter. Workers and DisableReplay are
+// deliberately absent: the engine guarantees bit-identical results
+// across schedules and across the replay/full paths (pinned by the
+// differential tests), so those knobs must not fragment the cache.
+// Map-valued fields (the operand profile) print in sorted key order,
+// so the string is canonical.
+func cellKey(fingerprint, benchDigest string, s Spec, c Cell) string {
+	return fmt.Sprintf("sys=%s|bench=%s|prog=%s|inputSeed=%d|model=%+v|trials=%d|tmin=%d|tmax=%d|z=%g|eps=%g|seed=%d|wf=%g",
+		fingerprint, c.Bench.Name, benchDigest, s.InputSeed, c.Model,
+		s.Trials, s.TrialsMin, s.TrialsMax, s.WilsonZ, s.CorrectEps,
+		s.Seed, s.WatchdogFactor)
+}
+
+// loadCell fetches a checkpointed cell Point; any untrusted blob is a
+// miss.
+func loadCell(st *artifact.Store, key string) (Point, bool) {
+	payload, ok, _ := st.Get(artifact.KindGridCell, key)
+	if !ok {
+		return Point{}, false
+	}
+	var pt Point
+	if err := artifact.DecodeGob(payload, &pt); err != nil {
+		return Point{}, false
+	}
+	return pt, true
+}
+
+// Run evaluates the grid. Like Sweep, an invalid operating point
+// partway through the enumeration still yields the results of every
+// cell before it, together with that cell's error; a trial-level error
+// aborts the whole grid.
+func (g Grid) Run() ([]CellResult, error) {
+	s := g.Spec.withDefaults()
+	cells := g.Cells()
+	results := make([]CellResult, 0, len(cells))
+	var fingerprint string
+	if g.Store != nil {
+		fingerprint = s.System.Fingerprint()
+	}
+
+	// Resolve every cell in enumeration order: resumed cells come from
+	// the store, the rest get their (cached) model and benchmark context
+	// and queue for the engine. The first invalid cell — unbuildable
+	// model or failing golden run — ends the enumeration with the valid
+	// prefix intact (the queued prefix still runs below).
+	var live []*pointState
+	var liveIdx []int
+	ctxs := map[string]*benchCtx{}
+	digests := map[string]string{}
+	var modelErr error
+	for _, c := range cells {
+		var key string
+		if g.Store != nil {
+			digest, ok := digests[c.Bench.Name]
+			if !ok {
+				var err error
+				if digest, err = core.BenchDigest(c.Bench, s.InputSeed); err != nil {
+					modelErr = err
+					break
+				}
+				digests[c.Bench.Name] = digest
+			}
+			key = cellKey(fingerprint, digest, s, c)
+			if g.Resume {
+				if pt, ok := loadCell(g.Store, key); ok {
+					results = append(results, CellResult{
+						Bench: c.Bench.Name, Model: c.Model, Cached: true, Point: pt,
+					})
+					continue
+				}
+			}
+		}
+		model, err := s.System.Model(c.Model)
+		if err != nil {
+			modelErr = err
+			break
+		}
+		ctx, ok := ctxs[c.Bench.Name]
+		if !ok {
+			ctx, err = newBenchCtx(s, c.Bench)
+			if err != nil {
+				modelErr = err
+				break
+			}
+			ctxs[c.Bench.Name] = ctx
+		}
+		live = append(live, &pointState{cell: c, ctx: ctx, model: model, key: key})
+		results = append(results, CellResult{Bench: c.Bench.Name, Model: c.Model})
+		liveIdx = append(liveIdx, len(results)-1)
+	}
+
+	if len(live) > 0 {
+		pts, err := newEngine(s, live, g.Store).run()
+		if err != nil {
+			return nil, err
+		}
+		for i, pt := range pts {
+			results[liveIdx[i]].Point = pt
+		}
+	}
+	return results, modelErr
+}

@@ -6,15 +6,22 @@
 // injection rate (FIs per kCycle of kernel execution), and output error
 // of the runs that finished.
 //
-// Sweeps run on a sweep-level scheduler: every (frequency, trial) pair
-// of the whole sweep is a work item drawn from one shared worker pool,
-// so a multi-frequency sweep saturates all cores even when individual
-// points have few trials left. Fault models are built once per spec via
-// the core.System model cache and shared across points. Because each
-// trial derives its RNG from SubSeed(Seed, trial) and results are
-// aggregated in trial-index order, the schedule has no effect on the
-// numbers: Sweep is bit-identical to the point-serial reference path
-// (SweepSerial) for a fixed seed.
+// Experiments run on a grid engine: a Grid enumerates cells over any
+// combination of benchmark, model kind, supply voltage, noise sigma,
+// operand profile and frequency, and every (cell, trial) pair of the
+// whole grid is a work item drawn from one shared worker pool, so even
+// sparse grids saturate all cores. Fault models are built once per cell
+// spec via the core.System model cache, and all cells of one benchmark
+// share one golden execution context. Because each trial derives its
+// RNG from SubSeed(Seed, trial) and results are aggregated in
+// trial-index order, neither the schedule nor the surrounding grid has
+// any effect on a cell's numbers: a cell is bit-identical whether it is
+// evaluated alone (Run), inside a frequency sweep (Sweep — the
+// single-axis grid), or inside an arbitrary multi-axis grid, and Sweep
+// is bit-identical to the point-serial reference path (SweepSerial) for
+// a fixed seed. With an attached artifact store, completed cells
+// checkpoint to disk and a resumed grid loads them instead of
+// recomputing (see Grid).
 //
 // Trials with fixed inputs run on the golden-trace replay fast path:
 // the fault model's injector is driven over one recorded fault-free
@@ -40,6 +47,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/artifact"
 	"repro/internal/asm"
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -131,10 +139,12 @@ func (s Spec) withDefaults() Spec {
 // trial allocation.
 func (s Spec) adaptive() bool { return s.TrialsMax > 0 }
 
-// replayable reports whether the golden-trace replay fast path can serve
-// this spec: inputs must be fixed (one shared golden run) and the fast
-// path must not be disabled.
-func (s Spec) replayable() bool { return !s.DisableReplay && !s.Bench.PerTrialInputs }
+// replayableFor reports whether the golden-trace replay fast path can
+// serve the given benchmark under this spec: inputs must be fixed (one
+// shared golden run) and the fast path must not be disabled.
+func (s Spec) replayableFor(b *bench.Benchmark) bool {
+	return !s.DisableReplay && !b.PerTrialInputs
+}
 
 // Progress is a snapshot of sweep-engine progress. Trial totals grow
 // while adaptive points extend their budgets.
@@ -167,11 +177,65 @@ type trialResult struct {
 	err               error
 }
 
-// pointState tracks one frequency's trials inside the engine. next,
+// benchCtx is the per-benchmark execution context shared by every grid
+// cell of that benchmark: the assembled program and golden outputs (nil
+// when the benchmark regenerates inputs per trial), the watchdog
+// budget, and — on the replay fast path — the recorded golden trace
+// with the fault-free trial outcome.
+type benchCtx struct {
+	bench    *bench.Benchmark
+	prog     *asm.Program
+	want     []uint32
+	watchdog uint64
+	golden   *core.Golden
+	metric0  float64
+}
+
+// newBenchCtx runs (or fetches from the system caches) the one golden
+// execution the benchmark's cells share: neither the program nor the
+// watchdog depends on the operating point. PerTrialInputs benchmarks
+// rebuild inputs per trial and use the golden run only to size the
+// watchdog. Replayable benchmarks take the recorded (and cached) golden
+// trace instead, so repeated grids over one benchmark share a single
+// golden execution.
+func newBenchCtx(s Spec, b *bench.Benchmark) (*benchCtx, error) {
+	ctx := &benchCtx{bench: b}
+	if s.replayableFor(b) {
+		g, err := s.System.Golden(b, s.InputSeed)
+		if err != nil {
+			return nil, err
+		}
+		ctx.prog, ctx.want = g.Prog, g.Want
+		ctx.watchdog = uint64(float64(g.Trace.Cycles) * s.WatchdogFactor)
+		if ctx.watchdog >= g.Trace.Cycles {
+			ctx.golden = g
+			ctx.metric0 = b.Metric(g.Want, g.Want)
+		}
+		// Otherwise the budget is below the golden cycle count and would
+		// watchdog even fault-free trials: trials run the full path, but
+		// the recorded program, outputs and cycle count still serve.
+	} else {
+		prog, want, goldenCycles, err := s.System.GoldenRun(b, s.InputSeed)
+		if err != nil {
+			return nil, err
+		}
+		if !b.PerTrialInputs {
+			ctx.prog, ctx.want = prog, want
+		}
+		ctx.watchdog = uint64(float64(goldenCycles) * s.WatchdogFactor)
+	}
+	return ctx, nil
+}
+
+// pointState tracks one grid cell's trials inside the engine. next,
 // completed, target and done are guarded by the engine mutex.
 type pointState struct {
-	freqMHz float64
-	model   fi.Model
+	cell  Cell
+	ctx   *benchCtx
+	model fi.Model
+	// key is the cell's artifact-store key; completed cells are
+	// checkpointed under it when the engine holds a store.
+	key     string
 	results []trialResult
 	next      int  // next trial index to hand out
 	completed int  // trials finished
@@ -179,20 +243,13 @@ type pointState struct {
 	done      bool // no further trials will be scheduled
 }
 
-// engine is the sweep-level scheduler: one shared pool of workers pulls
-// (point, trial) items across all points of a sweep, and adaptive
-// points extend their own targets at batch boundaries.
+// engine is the grid-level scheduler: one shared pool of workers pulls
+// (cell, trial) items across all cells of a grid, and adaptive cells
+// extend their own targets at batch boundaries.
 type engine struct {
-	s        Spec
-	prog     *asm.Program // shared golden program (nil when PerTrialInputs)
-	want     []uint32
-	watchdog uint64
-	pts      []*pointState
-
-	// Replay fast path (nil when the spec is not replayable): the cached
-	// golden trace and the trial outcome of a fault-free replay.
-	golden  *core.Golden
-	metric0 float64
+	s     Spec
+	pts   []*pointState
+	store *artifact.Store // nil when cells are not checkpointed
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -202,59 +259,9 @@ type engine struct {
 	donePoints  int
 }
 
-// buildModels resolves one cached model per frequency. On an invalid
-// operating point it returns the models of the valid prefix together
-// with the offending frequency's error.
-func buildModels(s Spec, freqs []float64) ([]fi.Model, error) {
-	models := make([]fi.Model, 0, len(freqs))
-	for _, f := range freqs {
-		ms := s.Model
-		ms.FreqMHz = f
-		if ms.Profile == nil {
-			ms.Profile = s.Bench.Profile
-		}
-		model, err := s.System.Model(ms)
-		if err != nil {
-			return models, err
-		}
-		models = append(models, model)
-	}
-	return models, nil
-}
-
-func newEngine(s Spec, freqs []float64, models []fi.Model) (*engine, error) {
-	e := &engine{s: s}
+func newEngine(s Spec, pts []*pointState, store *artifact.Store) *engine {
+	e := &engine{s: s, pts: pts, store: store}
 	e.cond = sync.NewCond(&e.mu)
-
-	// One golden run per sweep: neither the program nor the watchdog
-	// depends on frequency. PerTrialInputs benchmarks rebuild inputs per
-	// trial and use the golden run only to size the watchdog. Replayable
-	// specs take the recorded (and cached) golden trace instead, so
-	// repeated sweeps of one benchmark share a single golden execution.
-	if s.replayable() {
-		g, err := s.System.Golden(s.Bench, s.InputSeed)
-		if err != nil {
-			return nil, err
-		}
-		e.prog, e.want = g.Prog, g.Want
-		e.watchdog = uint64(float64(g.Trace.Cycles) * s.WatchdogFactor)
-		if e.watchdog >= g.Trace.Cycles {
-			e.golden = g
-			e.metric0 = s.Bench.Metric(g.Want, g.Want)
-		}
-		// Otherwise the budget is below the golden cycle count and would
-		// watchdog even fault-free trials: trials run the full path, but
-		// the recorded program, outputs and cycle count still serve.
-	} else {
-		prog, want, goldenCycles, err := s.System.GoldenRun(s.Bench, s.InputSeed)
-		if err != nil {
-			return nil, err
-		}
-		if !s.Bench.PerTrialInputs {
-			e.prog, e.want = prog, want
-		}
-		e.watchdog = uint64(float64(goldenCycles) * s.WatchdogFactor)
-	}
 
 	maxTrials := s.Trials
 	initial := s.Trials
@@ -262,16 +269,12 @@ func newEngine(s Spec, freqs []float64, models []fi.Model) (*engine, error) {
 		maxTrials = s.TrialsMax
 		initial = s.TrialsMin
 	}
-	for i, f := range freqs {
-		e.pts = append(e.pts, &pointState{
-			freqMHz: f,
-			model:   models[i],
-			results: make([]trialResult, maxTrials),
-			target:  initial,
-		})
+	for _, p := range pts {
+		p.results = make([]trialResult, maxTrials)
+		p.target = initial
 		e.totalTrials += initial
 	}
-	return e, nil
+	return e
 }
 
 // take hands out the next (point, trial) work item, blocking while all
@@ -328,7 +331,9 @@ func (e *engine) decide(p *pointState) bool {
 }
 
 // complete records one finished trial and, at batch boundaries, either
-// closes the point or extends its target by another batch.
+// closes the point or extends its target by another batch. A point that
+// closes cleanly is checkpointed to the artifact store (when one is
+// attached) so an interrupted grid can resume past it.
 func (e *engine) complete(pi, ti int, r trialResult) {
 	e.mu.Lock()
 	p := e.pts[pi]
@@ -338,9 +343,11 @@ func (e *engine) complete(pi, ti int, r trialResult) {
 	if r.err != nil && e.err == nil {
 		e.err = r.err
 	}
+	closed := false
 	if !p.done && p.completed == p.target {
 		if e.err != nil || e.decide(p) {
 			p.done = true
+			closed = e.err == nil
 			e.donePoints++
 		} else {
 			grow := e.s.TrialsMin
@@ -365,12 +372,23 @@ func (e *engine) complete(pi, ti int, r trialResult) {
 		})
 	}
 	e.mu.Unlock()
+	if closed && e.store != nil && p.key != "" {
+		// The results prefix is immutable once the point is done, so the
+		// write can happen outside the lock. Checkpointing is best-effort:
+		// a failed write costs a recomputation on resume, never
+		// correctness.
+		if pt, err := aggregate(p.cell.Model.FreqMHz, p.results[:p.target]); err == nil {
+			if payload, err := artifact.EncodeGob(pt); err == nil {
+				_ = e.store.Put(artifact.KindGridCell, p.key, payload)
+			}
+		}
+	}
 }
 
 // runTrial executes one trial on a worker-private memory, through the
-// replay fast path when the engine holds a golden trace.
+// replay fast path when the cell's benchmark holds a golden trace.
 func (e *engine) runTrial(m *mem.Memory, pi, ti int) trialResult {
-	if e.golden != nil {
+	if e.pts[pi].ctx.golden != nil {
 		return e.runTrialReplay(m, pi, ti)
 	}
 	return e.runTrialFull(m, pi, ti)
@@ -385,27 +403,29 @@ func (e *engine) runTrial(m *mem.Memory, pi, ti int) trialResult {
 // exactly).
 func (e *engine) runTrialReplay(m *mem.Memory, pi, ti int) trialResult {
 	s := e.s
+	p := e.pts[pi]
+	ctx := p.ctx
 	var r trialResult
 	rng := stats.NewRand(stats.SubSeed(s.Seed, ti))
-	inj := e.pts[pi].model.NewTrial(rng)
-	fork, ok := fi.ScanTrace(inj, e.golden.Queries)
+	inj := p.model.NewTrial(rng)
+	fork, ok := fi.ScanTrace(inj, ctx.golden.Queries)
 	if !ok {
 		// Fault-free: the trial is the golden run.
 		r.finished, r.correct = true, true
-		r.kernelCycles = e.golden.Trace.KernelCycles
-		r.metric = e.metric0
+		r.kernelCycles = ctx.golden.Trace.KernelCycles
+		r.metric = ctx.metric0
 		return r
 	}
-	cp := e.golden.Trace.CheckpointBefore(fork.Query)
+	cp := ctx.golden.Trace.CheckpointBefore(fork.Query)
 	m.Reset()
 	c := cpu.New(m, fi.NewForkInjector(inj, cp.EventIndex, fork), s.System.Cfg.CPU)
-	if err := c.Restore(e.golden.Prog, e.golden.Trace, cp); err != nil {
+	if err := c.Restore(ctx.golden.Prog, ctx.golden.Trace, cp); err != nil {
 		r.err = err
 		return r
 	}
-	c.SetWatchdog(e.watchdog)
+	c.SetWatchdog(ctx.watchdog)
 	st := c.Run()
-	return e.finishTrial(c, m, e.golden.Prog, e.golden.Want, st)
+	return e.finishTrial(ctx, c, m, ctx.golden.Prog, ctx.golden.Want, st)
 }
 
 // runTrialFull executes one fault-injected trial from the reset vector —
@@ -413,11 +433,12 @@ func (e *engine) runTrialReplay(m *mem.Memory, pi, ti int) trialResult {
 func (e *engine) runTrialFull(m *mem.Memory, pi, ti int) trialResult {
 	s := e.s
 	p := e.pts[pi]
+	ctx := p.ctx
 	var r trialResult
 	rng := stats.NewRand(stats.SubSeed(s.Seed, ti))
-	prog, want := e.prog, e.want
-	if s.Bench.PerTrialInputs {
-		src, w2, err := s.Bench.Build(stats.SubSeed(s.InputSeed, ti))
+	prog, want := ctx.prog, ctx.want
+	if ctx.bench.PerTrialInputs {
+		src, w2, err := ctx.bench.Build(stats.SubSeed(s.InputSeed, ti))
 		if err != nil {
 			r.err = err
 			return r
@@ -435,14 +456,14 @@ func (e *engine) runTrialFull(m *mem.Memory, pi, ti int) trialResult {
 		r.err = err
 		return r
 	}
-	c.SetWatchdog(e.watchdog)
+	c.SetWatchdog(ctx.watchdog)
 	st := c.Run()
-	return e.finishTrial(c, m, prog, want, st)
+	return e.finishTrial(ctx, c, m, prog, want, st)
 }
 
 // finishTrial folds a completed simulation into a trialResult; shared by
 // the full and forked-replay paths.
-func (e *engine) finishTrial(c *cpu.CPU, m *mem.Memory, prog *asm.Program, want []uint32, st cpu.Status) trialResult {
+func (e *engine) finishTrial(ctx *benchCtx, c *cpu.CPU, m *mem.Memory, prog *asm.Program, want []uint32, st cpu.Status) trialResult {
 	var r trialResult
 	r.fiBits = c.FIBits
 	r.kernelCycles = c.KernelCycles
@@ -450,14 +471,14 @@ func (e *engine) finishTrial(c *cpu.CPU, m *mem.Memory, prog *asm.Program, want 
 		return r
 	}
 	r.finished = true
-	got, err := e.s.Bench.Outputs(m, prog)
+	got, err := ctx.bench.Outputs(m, prog)
 	if err != nil {
 		// Output extraction can only fail on a broken benchmark
 		// definition, not on FI.
 		r.err = err
 		return r
 	}
-	r.metric = e.s.Bench.Metric(got, want)
+	r.metric = ctx.bench.Metric(got, want)
 	r.correct = true
 	for i := range got {
 		if got[i] != want[i] {
@@ -470,7 +491,7 @@ func (e *engine) finishTrial(c *cpu.CPU, m *mem.Memory, prog *asm.Program, want 
 
 // run drives the worker pool to completion and aggregates every point.
 func (e *engine) run() ([]Point, error) {
-	// Cap the pool by the largest amount of work the sweep can ever
+	// Cap the pool by the largest amount of work the grid can ever
 	// hold (adaptive points may grow past the initial totalTrials), not
 	// by the initial batch sizes.
 	maxWork := 0
@@ -502,7 +523,7 @@ func (e *engine) run() ([]Point, error) {
 	}
 	pts := make([]Point, 0, len(e.pts))
 	for _, p := range e.pts {
-		pt, err := aggregate(p.freqMHz, p.results[:p.target])
+		pt, err := aggregate(p.cell.Model.FreqMHz, p.results[:p.target])
 		if err != nil {
 			return nil, err
 		}
@@ -580,32 +601,20 @@ func RunFull(spec Spec, fMHz float64) (Point, error) {
 	return Run(spec, fMHz)
 }
 
-// Sweep evaluates the configuration over a list of frequencies through
-// the shared-pool scheduler. Like the serial reference path it returns
-// the points of every frequency before the first invalid operating
-// point together with that point's error.
+// Sweep evaluates the configuration over a list of frequencies — the
+// single-axis (frequency) grid. Like the serial reference path it
+// returns the points of every frequency before the first invalid
+// operating point together with that point's error.
 func Sweep(spec Spec, freqs []float64) ([]Point, error) {
-	s := spec.withDefaults()
 	pts := make([]Point, 0, len(freqs))
 	if len(freqs) == 0 {
 		return pts, nil
 	}
-	// An invalid operating point partway through the list still gets the
-	// points of the valid prefix, matching the serial reference path
-	// (which evaluated every point before the failure).
-	models, modelErr := buildModels(s, freqs)
-	if len(models) == 0 {
-		return pts, modelErr
+	cells, err := Grid{Spec: spec, Axes: Axes{Freqs: freqs}}.Run()
+	for _, c := range cells {
+		pts = append(pts, c.Point)
 	}
-	e, err := newEngine(s, freqs[:len(models)], models)
-	if err != nil {
-		return pts, err
-	}
-	pts, err = e.run()
-	if err != nil {
-		return pts, err
-	}
-	return pts, modelErr
+	return pts, err
 }
 
 // SweepSerial evaluates points strictly one at a time with a per-point

@@ -1,0 +1,155 @@
+// Package report renders experiment results machine-readably: one
+// Document of labelled series (each a list of mc.Points with its model
+// coordinate) plus the grid metadata that produced them, encoded as
+// JSON or tidy CSV. cmd/sweep and cmd/paperrepro share it through the
+// root facade.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/mc"
+)
+
+// Meta describes the run that produced a document.
+type Meta struct {
+	Tool  string `json:"tool"`            // producing command
+	Seed  int64  `json:"seed"`            // master random seed
+	Cells int    `json:"cells"`           // grid cells evaluated
+	Axes  string `json:"axes,omitempty"`  // human-readable axis summary
+	Cache string `json:"cache,omitempty"` // artifact cache directory, if any
+}
+
+// Series is one labelled point list: all cells sharing a (benchmark,
+// model, operating conditions) coordinate, ordered by frequency. The
+// numeric coordinates never use omitempty: sigma = 0 is a legitimate
+// grid value, not an absent field.
+type Series struct {
+	Label  string     `json:"label"`
+	Bench  string     `json:"bench,omitempty"`
+	Kind   string     `json:"model,omitempty"`
+	Vdd    float64    `json:"vdd"`
+	Sigma  float64    `json:"sigma"`
+	Points []mc.Point `json:"points"`
+}
+
+// Document is the machine-readable result of a run.
+type Document struct {
+	Meta   Meta     `json:"meta"`
+	Series []Series `json:"series"`
+}
+
+// FromCells groups grid cells into series: consecutive cells that share
+// everything but the frequency fold into one series (grid enumeration
+// is frequency-innermost, so the grouping is a single pass). Labels
+// spell out the non-frequency coordinate.
+func FromCells(cells []mc.CellResult) []Series {
+	var out []Series
+	sameSeries := func(a, b mc.CellResult) bool {
+		am, bm := a.Model, b.Model
+		am.FreqMHz, bm.FreqMHz = 0, 0
+		return a.Bench == b.Bench && fmt.Sprintf("%+v", am) == fmt.Sprintf("%+v", bm)
+	}
+	for i, c := range cells {
+		if i == 0 || !sameSeries(cells[i-1], c) {
+			out = append(out, Series{
+				Label: seriesLabel(c),
+				Bench: c.Bench,
+				Kind:  c.Model.Kind,
+				Vdd:   c.Model.Vdd,
+				Sigma: c.Model.Sigma,
+			})
+		}
+		s := &out[len(out)-1]
+		s.Points = append(s.Points, c.Point)
+	}
+	return out
+}
+
+func seriesLabel(c mc.CellResult) string {
+	return fmt.Sprintf("%s model=%s vdd=%gV sigma=%gmV",
+		c.Bench, modelKind(c.Model), c.Model.Vdd, c.Model.Sigma*1000)
+}
+
+func modelKind(m core.ModelSpec) string {
+	if m.Kind == "" {
+		return "none"
+	}
+	return m.Kind
+}
+
+// WriteJSON encodes the document as indented JSON.
+func WriteJSON(w io.Writer, d *Document) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteCSV encodes the document as tidy CSV: one row per (series,
+// point), metadata in a leading comment line.
+func WriteCSV(w io.Writer, d *Document) error {
+	if _, err := fmt.Fprintf(w, "# tool=%s seed=%d cells=%d axes=%q\n",
+		d.Meta.Tool, d.Meta.Seed, d.Meta.Cells, d.Meta.Axes); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"series", "bench", "model", "vdd_v", "sigma_v",
+		"freq_mhz", "trials", "finished_pct", "correct_pct",
+		"fi_per_kcycle", "output_err", "output_err_all", "kernel_cycles"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range d.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Label, s.Bench, s.Kind, fmtF(s.Vdd), fmtF(s.Sigma),
+				fmtF(p.FreqMHz), strconv.Itoa(p.Trials),
+				fmtF(p.FinishedPct), fmtF(p.CorrectPct),
+				fmtF(p.FIRate), fmtF(p.OutputErr), fmtF(p.OutputErrAll),
+				fmtF(p.KernelCycles),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Write dispatches on format ("json" or "csv").
+func Write(w io.Writer, format string, d *Document) error {
+	switch format {
+	case "json":
+		return WriteJSON(w, d)
+	case "csv":
+		return WriteCSV(w, d)
+	}
+	return fmt.Errorf("report: unknown format %q (want json or csv)", format)
+}
+
+// WriteFile writes the document to path (or to stdoutFallback when path
+// is empty), propagating close errors so a failed flush never passes
+// for a successful export.
+func WriteFile(path string, stdoutFallback io.Writer, format string, d *Document) error {
+	if path == "" {
+		return Write(stdoutFallback, format, d)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, format, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mc"
+)
+
+func sampleCells() []mc.CellResult {
+	mk := func(bench, kind string, f, correct float64) mc.CellResult {
+		return mc.CellResult{
+			Bench: bench,
+			Model: core.ModelSpec{Kind: kind, Vdd: 0.7, FreqMHz: f},
+			Point: mc.Point{FreqMHz: f, Trials: 10, CorrectPct: correct, FinishedPct: 100},
+		}
+	}
+	return []mc.CellResult{
+		mk("median", "B", 700, 100),
+		mk("median", "B", 720, 80),
+		mk("median", "B+", 700, 100),
+		mk("kmeans", "B+", 700, 90),
+	}
+}
+
+func TestFromCellsGroupsByNonFrequencyCoordinate(t *testing.T) {
+	series := FromCells(sampleCells())
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3 (B sweep, median B+, kmeans B+)", len(series))
+	}
+	if len(series[0].Points) != 2 || series[0].Points[1].FreqMHz != 720 {
+		t.Errorf("frequency grouping broken: %+v", series[0])
+	}
+	if series[2].Bench != "kmeans" {
+		t.Errorf("bench boundary not a series boundary: %+v", series[2])
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	d := &Document{
+		Meta:   Meta{Tool: "sweep", Seed: 1, Cells: 4, Axes: "freqs=2"},
+		Series: FromCells(sampleCells()),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "json", d); err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta.Tool != "sweep" || len(back.Series) != 3 ||
+		back.Series[0].Points[1].CorrectPct != 80 {
+		t.Errorf("JSON round-trip drifted: %+v", back)
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	d := &Document{
+		Meta:   Meta{Tool: "sweep", Seed: 1, Cells: 4},
+		Series: FromCells(sampleCells()),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "csv", d); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// 1 meta comment + 1 header + 4 point rows.
+	if len(lines) != 6 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "# tool=sweep") {
+		t.Errorf("missing meta comment: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "series,bench,model,") {
+		t.Errorf("header drifted: %q", lines[1])
+	}
+}
+
+func TestWriteUnknownFormat(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, "xml", &Document{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
