@@ -242,11 +242,13 @@ func BenchmarkSweepAdaptive(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
-// Trace-replay benches: the golden-trace fast path (BenchmarkPointReplay)
-// against full per-trial ISS execution (BenchmarkPointFull) on a
-// sub-PoFF operating point, where most trials never inject a single
-// fault and replay reduces a trial to one injector query per kernel ALU
-// cycle. The acceptance bar for the fast path is >= 2x here.
+// Trial-path benches on a sub-PoFF model-C point, where most trials
+// never inject a single fault: first-fault sampling
+// (BenchmarkPointFirstFault, the default path — one uniform draw and a
+// binary search per fault-free trial) against the golden-trace replay
+// scan (BenchmarkPointReplay — one injector query per recorded ALU
+// cycle) against full per-trial ISS execution (BenchmarkPointFull).
+// Acceptance bars: scan >= 2x over full, first-fault >= 10x over scan.
 
 func replayBenchSpec() mc.Spec {
 	return mc.Spec{
@@ -258,8 +260,18 @@ func replayBenchSpec() mc.Spec {
 	}
 }
 
+func BenchmarkPointFirstFault(b *testing.B) {
+	spec := replayBenchSpec()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Run(spec, 700); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkPointReplay(b *testing.B) {
 	spec := replayBenchSpec()
+	spec.Mode = mc.ModeScan
 	for i := 0; i < b.N; i++ {
 		if _, err := mc.Run(spec, 700); err != nil {
 			b.Fatal(err)

@@ -68,6 +68,7 @@ func main() {
 	trialsMin := flag.Int("trials-min", 0, "adaptive mode: first batch size (with -trials-max)")
 	trialsMax := flag.Int("trials-max", 0, "adaptive mode: trial budget per point (0 = fixed -trials)")
 	seed := flag.Int64("seed", 1, "random seed")
+	mode := flag.String("mode", "auto", "trial path: auto (first-fault sampling), scan (exact golden-trace replay), full (per-trial ISS)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
 	dtaCycles := flag.Int("dta", 8192, "DTA characterization cycles")
 	cacheDir := flag.String("cache-dir", "", "artifact cache directory (characterizations, golden traces, grid cells)")
@@ -79,6 +80,17 @@ func main() {
 
 	if *trialsMin > 0 && *trialsMax <= 0 {
 		log.Fatal("-trials-min has no effect without -trials-max (adaptive mode)")
+	}
+	var trialMode mc.Mode
+	switch *mode {
+	case "auto", "first-fault":
+		trialMode = mc.ModeAuto
+	case "scan", "replay":
+		trialMode = mc.ModeScan
+	case "full":
+		trialMode = mc.ModeFull
+	default:
+		log.Fatalf("-mode %q: want auto, scan or full", *mode)
 	}
 	if *resume && *cacheDir == "" {
 		log.Fatal("-resume requires -cache-dir")
@@ -119,6 +131,7 @@ func main() {
 			TrialsMin: *trialsMin,
 			TrialsMax: *trialsMax,
 			Seed:      *seed,
+			Mode:      trialMode,
 			Workers:   *workers,
 			Progress: func(p mc.Progress) {
 				rep.Update(p.DoneTrials, p.TotalTrials)

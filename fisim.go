@@ -78,6 +78,15 @@ const (
 	Joint        = fi.Joint
 )
 
+// Trial execution paths for Spec.Mode: first-fault sampling where
+// available (the default), the exact golden-trace replay scan, or full
+// per-trial ISS execution.
+const (
+	ModeAuto = mc.ModeAuto
+	ModeScan = mc.ModeScan
+	ModeFull = mc.ModeFull
+)
+
 // DefaultConfig returns the paper's case-study parameters (28 nm core,
 // 707 MHz STA limit at 0.7 V, 8 kCycle DTA characterization).
 func DefaultConfig() Config { return core.DefaultConfig() }
@@ -92,15 +101,24 @@ func Benchmarks() []*Benchmark { return bench.All() }
 func BenchmarkByName(name string) (*Benchmark, error) { return bench.ByName(name) }
 
 // Run evaluates one Monte-Carlo data point at the given frequency (MHz).
-// Benchmarks with fixed inputs run on the golden-trace replay fast path:
-// trials are decided against one recorded fault-free execution and only
-// fork into full cycle-accurate simulation from the first injected bit
-// flip. Results are bit-identical to full execution for a fixed seed.
+// Benchmarks with fixed inputs run, by default, on the first-fault
+// sampling fast path: the model's per-query injection probability is
+// marginalized over the noise distribution once per (golden trace,
+// model), each trial draws its first-fault cycle with a single uniform
+// draw and a binary search, and only faulting trials fork into full
+// cycle-accurate simulation. Results are deterministic per Spec.Seed
+// and statistically equivalent to full execution; Spec.Mode selects the
+// exact paths (ModeScan, ModeFull) instead.
 func Run(spec Spec, fMHz float64) (Point, error) { return mc.Run(spec, fMHz) }
 
+// RunScan evaluates one data point on the golden-trace replay scan —
+// the exact fast path, bit-identical to RunFull for a fixed seed and
+// the statistical reference for first-fault sampling.
+func RunScan(spec Spec, fMHz float64) (Point, error) { return mc.RunScan(spec, fMHz) }
+
 // RunFull evaluates one data point forcing full ISS execution for every
-// trial — the reference path of the replay optimization (set
-// Spec.DisableReplay to force it inside sweeps).
+// trial — the reference path of both fast paths (set Spec.Mode =
+// ModeFull to force it inside sweeps).
 func RunFull(spec Spec, fMHz float64) (Point, error) { return mc.RunFull(spec, fMHz) }
 
 // Sweep evaluates a configuration over a frequency list — the

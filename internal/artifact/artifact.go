@@ -39,6 +39,7 @@ const (
 	KindCharacterization = "dta-characterization"
 	KindGoldenTrace      = "golden-trace"
 	KindGridCell         = "grid-cell"
+	KindHazard           = "hazard-table"
 )
 
 // ErrVersion reports a blob written under a different format version.

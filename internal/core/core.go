@@ -68,6 +68,8 @@ type System struct {
 	goldenMu sync.Mutex
 	goldens  map[goldenKey]*Golden
 
+	hazards hazardCache
+
 	artifacts *artifact.Store
 
 	goldenRecorded atomic.Int64 // golden traces actually executed+recorded
@@ -117,9 +119,10 @@ func (s *System) GoldenLoadedCount() int64 { return s.goldenLoaded.Load() }
 // CacheSummary renders one line of artifact-cache traffic, for the CLI
 // tools' stderr diagnostics (and the CI warm-start assertion).
 func (s *System) CacheSummary() string {
-	return fmt.Sprintf("characterizations: %d computed, %d loaded; goldens: %d recorded, %d loaded",
+	return fmt.Sprintf("characterizations: %d computed, %d loaded; goldens: %d recorded, %d loaded; hazards: %d built, %d loaded",
 		s.Char.ComputedCount(), s.Char.LoadedCount(),
-		s.goldenRecorded.Load(), s.goldenLoaded.Load())
+		s.goldenRecorded.Load(), s.goldenLoaded.Load(),
+		s.hazards.built.Load(), s.hazards.loaded.Load())
 }
 
 // STALimitMHz returns the static timing limit at supply v (707 MHz at

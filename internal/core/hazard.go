@@ -1,0 +1,151 @@
+// Hazard-table caching: the per-(golden trace, model) prefix
+// log-survival arrays that drive first-fault sampling (see
+// internal/fi's hazard machinery). Construction marginalizes the model
+// over the noise distribution once per op and folds the hazards over
+// the whole recorded query stream, so like characterizations and golden
+// traces the result is cached in memory per System and persisted
+// through the artifact store: a warm grid run skips hazard construction
+// the same way it skips DTA and trace recording.
+
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/artifact"
+	"repro/internal/bench"
+	"repro/internal/fi"
+	"repro/internal/isa"
+)
+
+// hazardKey identifies a cached hazard table: the golden trace
+// coordinate plus the fully resolved model spec.
+type hazardKey struct {
+	golden goldenKey
+	model  modelKey
+}
+
+// hazardCache is the System-level cache; split out so core.go stays the
+// construction/golden path and this file the hazard path.
+type hazardCache struct {
+	mu      sync.Mutex
+	tables  map[hazardKey]*fi.Hazard
+	built   atomic.Int64 // hazard tables actually constructed
+	loaded  atomic.Int64 // hazard tables served from the artifact store
+	initOne sync.Once
+}
+
+func (c *hazardCache) init() {
+	c.initOne.Do(func() { c.tables = map[hazardKey]*fi.Hazard{} })
+}
+
+// HazardBuiltCount reports how many hazard tables this system actually
+// constructed (marginalization + prefix fold), as opposed to serving
+// from memory or the store.
+func (s *System) HazardBuiltCount() int64 { return s.hazards.built.Load() }
+
+// HazardLoadedCount reports how many hazard tables were served from the
+// attached artifact store.
+func (s *System) HazardLoadedCount() int64 { return s.hazards.loaded.Load() }
+
+// Hazard returns the first-fault sampling table of the benchmark's
+// golden trace under the given model spec, building (and caching, and —
+// with an attached store — persisting) it on first use. The model must
+// resolve to a fi.HazardModel, which every built-in model kind does;
+// benchmarks without a shared golden trace are rejected by Golden.
+func (s *System) Hazard(b *bench.Benchmark, inputSeed int64, spec ModelSpec) (*fi.Hazard, error) {
+	model, err := s.Model(spec)
+	if err != nil {
+		return nil, err
+	}
+	hm, ok := model.(fi.HazardModel)
+	if !ok {
+		return nil, fmt.Errorf("core: model %s cannot report marginal injection probabilities", model.Name())
+	}
+	g, err := s.Golden(b, inputSeed)
+	if err != nil {
+		return nil, err
+	}
+	k := hazardKey{golden: goldenKey{bench: b.Name, inputSeed: inputSeed}, model: spec.key()}
+	s.hazards.init()
+	s.hazards.mu.Lock()
+	h, ok := s.hazards.tables[k]
+	s.hazards.mu.Unlock()
+	if ok {
+		return h, nil
+	}
+	if h = s.loadHazard(b, inputSeed, spec, len(g.Queries)); h != nil {
+		s.hazards.loaded.Add(1)
+	} else {
+		h = fi.BuildHazard(hm, g.Queries)
+		s.hazards.built.Add(1)
+		s.saveHazard(b, inputSeed, spec, h)
+	}
+	s.hazards.mu.Lock()
+	// Keep the first instance if another goroutine raced us here.
+	if prev, ok := s.hazards.tables[k]; ok {
+		h = prev
+	} else {
+		s.hazards.tables[k] = h
+	}
+	s.hazards.mu.Unlock()
+	return h, nil
+}
+
+// hazardStoreKey spells out every input the table depends on: the full
+// system fingerprint (the marginals integrate model C's DTA-derived
+// probability tables and the Vdd-delay noise scale, so circuit/DTA
+// config changes must miss), the golden-trace key (program content,
+// input seed, CPU timing), and the resolved model spec (kind, operating
+// point, canonical profile, semantics, sampling).
+func (s *System) hazardStoreKey(b *bench.Benchmark, inputSeed int64, spec ModelSpec) (string, error) {
+	gk, err := s.goldenStoreKey(b, inputSeed)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("sys=%s|%s|model=%+v", s.Fingerprint(), gk, spec.key()), nil
+}
+
+// loadHazard fetches a persisted hazard table; any miss, untrusted blob
+// or length mismatch against the live query stream falls back to
+// building (the store is an accelerator, never a correctness
+// dependency).
+func (s *System) loadHazard(b *bench.Benchmark, inputSeed int64, spec ModelSpec, queries int) *fi.Hazard {
+	if s.artifacts == nil {
+		return nil
+	}
+	key, err := s.hazardStoreKey(b, inputSeed, spec)
+	if err != nil {
+		return nil
+	}
+	payload, ok, _ := s.artifacts.Get(artifact.KindHazard, key)
+	if !ok {
+		return nil
+	}
+	var h fi.Hazard
+	if err := artifact.DecodeGob(payload, &h); err != nil {
+		return nil
+	}
+	if h.Queries() != queries || len(h.PerOp) != isa.NumOps {
+		return nil
+	}
+	return &h
+}
+
+// saveHazard persists a freshly built table; write failures are ignored.
+func (s *System) saveHazard(b *bench.Benchmark, inputSeed int64, spec ModelSpec, h *fi.Hazard) {
+	if s.artifacts == nil {
+		return
+	}
+	key, err := s.hazardStoreKey(b, inputSeed, spec)
+	if err != nil {
+		return
+	}
+	payload, err := artifact.EncodeGob(h)
+	if err != nil {
+		return
+	}
+	_ = s.artifacts.Put(artifact.KindHazard, key, payload)
+}

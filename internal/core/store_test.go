@@ -121,3 +121,78 @@ func TestGoldenStoreKeySeparation(t *testing.T) {
 		t.Error("edited benchmark source was served the stale trace of the original program")
 	}
 }
+
+// A hazard table persisted by one system must come back bit-identical
+// from a fresh system over the same store, without rebuilding (the
+// first-fault analogue of the golden-trace round trip above).
+func TestHazardStoreRoundTrip(t *testing.T) {
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bench.Median()
+	spec := ModelSpec{Kind: "C", Vdd: 0.7, FreqMHz: 860, Sigma: 0.010}
+
+	cold := newStoreTestSystem(t, st)
+	h1, err := cold.Hazard(b, 42, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.HazardBuiltCount() != 1 || cold.HazardLoadedCount() != 0 {
+		t.Fatalf("cold counters: built %d, loaded %d",
+			cold.HazardBuiltCount(), cold.HazardLoadedCount())
+	}
+	// A second lookup on the same system is a pure memory hit.
+	h1b, err := cold.Hazard(b, 42, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1b != h1 {
+		t.Fatal("repeated lookup did not return the cached instance")
+	}
+	if cold.HazardBuiltCount() != 1 {
+		t.Fatalf("repeated lookup rebuilt the table (built %d)", cold.HazardBuiltCount())
+	}
+
+	warm := newStoreTestSystem(t, st)
+	h2, err := warm.Hazard(b, 42, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.HazardBuiltCount() != 0 || warm.HazardLoadedCount() != 1 {
+		t.Fatalf("warm counters: built %d, loaded %d — store was not consulted",
+			warm.HazardBuiltCount(), warm.HazardLoadedCount())
+	}
+	if !reflect.DeepEqual(h1, h2) {
+		t.Error("hazard table did not round-trip bit-identically")
+	}
+
+	// A different operating point must not alias the cached table.
+	spec2 := spec
+	spec2.FreqMHz = 880
+	h3, err := warm.Hazard(b, 42, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.HazardBuiltCount() != 1 {
+		t.Errorf("different frequency served from the store (built %d)", warm.HazardBuiltCount())
+	}
+	if reflect.DeepEqual(h2.LogSurv, h3.LogSurv) {
+		t.Error("880 MHz hazard identical to 860 MHz hazard")
+	}
+
+	// Nor must a different system configuration: the marginals integrate
+	// DTA-derived probability tables, so a changed characterization
+	// config has to miss the cache (the key carries the fingerprint).
+	cfg := DefaultConfig()
+	cfg.DTA = dta.Config{Cycles: 128, Seed: 5}
+	other := New(cfg)
+	other.AttachStore(st)
+	if _, err := other.Hazard(b, 42, spec); err != nil {
+		t.Fatal(err)
+	}
+	if other.HazardLoadedCount() != 0 || other.HazardBuiltCount() != 1 {
+		t.Errorf("changed DTA config served a stale hazard table (built %d, loaded %d)",
+			other.HazardBuiltCount(), other.HazardLoadedCount())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -54,12 +55,15 @@ var gens = map[string]OperandGen{
 	},
 }
 
-// GenNames returns the registered generator names (for CLIs and docs).
+// GenNames returns the registered generator names, sorted, so CLI help
+// text and docs render identically across runs (map iteration order
+// would reshuffle them).
 func GenNames() []string {
 	out := make([]string, 0, len(gens))
 	for n := range gens {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -2,6 +2,8 @@ package dta
 
 import (
 	"math"
+	"reflect"
+	"sort"
 	"sync"
 	"testing"
 
@@ -252,5 +254,20 @@ func TestMaxPerCycleConsistent(t *testing.T) {
 		if math.Abs(worst-c.MaxPerCycle[cyc]) > 1e-12 {
 			t.Fatalf("cycle %d: MaxPerCycle %v != recomputed %v", cyc, c.MaxPerCycle[cyc], worst)
 		}
+	}
+}
+
+// GenNames feeds CLI help text and docs, so its order must be stable
+// across runs (maps iterate in randomized order).
+func TestGenNamesSorted(t *testing.T) {
+	names := GenNames()
+	if len(names) == 0 {
+		t.Fatal("no registered generators")
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("GenNames not sorted: %v", names)
+	}
+	if !reflect.DeepEqual(names, GenNames()) {
+		t.Errorf("GenNames not deterministic")
 	}
 }

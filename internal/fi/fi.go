@@ -19,10 +19,12 @@ import (
 	"math/bits"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/dta"
 	"repro/internal/isa"
+	"repro/internal/stats"
 	"repro/internal/timing"
 )
 
@@ -147,7 +149,14 @@ func (ns *noiseScale) sample(rng *rand.Rand) float64 {
 	if ns.sigma == 0 {
 		return 1
 	}
-	dv := rng.NormFloat64() * ns.sigma
+	return ns.at(rng.NormFloat64() * ns.sigma)
+}
+
+// at evaluates the delay factor at a noise value dv (volts) through the
+// same clipping and table interpolation the per-cycle sampler uses, so
+// the marginalization and conditional-sampling paths below see exactly
+// the distribution of sample.
+func (ns *noiseScale) at(dv float64) float64 {
 	lim := ns.clip * ns.sigma
 	if dv > lim {
 		dv = lim
@@ -161,6 +170,137 @@ func (ns *noiseScale) sample(rng *rand.Rand) float64 {
 	}
 	frac := pos - float64(i)
 	return ns.table[i]*(1-frac) + ns.table[i+1]*frac
+}
+
+// maxFactor returns the largest delay factor the noise can produce (the
+// worst-case droop saturation atom; 1 without noise).
+func (ns *noiseScale) maxFactor() float64 {
+	if ns.sigma == 0 {
+		return 1
+	}
+	return ns.table[0]
+}
+
+// exceedProb returns P(m > t) over the noise distribution, exactly: the
+// table is non-increasing in dv, so {m > t} = {dv < dv_t} for the
+// piecewise-linear crossing dv_t, and the clipped Gaussian measure of
+// that event is a normal CDF (the saturation atom at -clip*sigma is
+// included by construction). Without noise m is deterministically 1.
+func (ns *noiseScale) exceedProb(t float64) float64 {
+	if ns.sigma == 0 {
+		if t < 1 {
+			return 1
+		}
+		return 0
+	}
+	n := len(ns.table) - 1
+	if t >= ns.table[0] {
+		return 0
+	}
+	if t < ns.table[n] {
+		return 1
+	}
+	// Largest index lo with table[lo] > t (exists: table[0] > t).
+	lo, hi := 0, n
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if ns.table[mid] > t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	frac := 0.0
+	if ns.table[lo] != ns.table[lo+1] {
+		frac = (ns.table[lo] - t) / (ns.table[lo] - ns.table[lo+1])
+	}
+	lim := ns.clip * ns.sigma
+	dv := -lim + (float64(lo)+frac)*(2*lim)/float64(n)
+	return stats.NormalCDF(dv / ns.sigma)
+}
+
+// exceedFactor draws a delay factor conditioned on m > t by inverting
+// the noise CDF over the exceed mass pExceed (= exceedProb(t), > 0):
+// the quantile below the -clip*sigma tail is the saturation atom, the
+// rest maps through the normal quantile function. This is the fork-query
+// noise draw of first-fault sampling for the threshold models.
+func (ns *noiseScale) exceedFactor(rng *rand.Rand, t, pExceed float64) float64 {
+	if ns.sigma == 0 {
+		return 1
+	}
+	w := rng.Float64() * pExceed
+	lim := ns.clip * ns.sigma
+	dv := -lim
+	if w > stats.NormalCDF(-ns.clip) {
+		dv = ns.sigma * stats.NormalQuantile(w)
+	}
+	m := ns.at(dv)
+	if m <= t {
+		// Quantile round-off at the crossing can land a hair outside the
+		// conditioned region; nudge back inside.
+		m = math.Nextafter(t, math.Inf(1))
+	}
+	return m
+}
+
+// marginalSteps is the trapezoid resolution of marginal. The integrand
+// is bounded in [0, 1], so the discretization error is below ~1e-5
+// absolute — far inside the Monte-Carlo noise floor the marginal feeds.
+const marginalSteps = 1 << 16
+
+// marginal integrates a conditional injection probability pInj(m) over
+// the noise distribution of the delay factor m: the saturation atoms at
+// +/- clip*sigma carry their exact Gaussian tail mass, the interior is a
+// trapezoid against the normal density over the same table interpolation
+// the per-cycle sampler uses. The result is the per-query injection
+// probability with the supply noise integrated out.
+func (ns *noiseScale) marginal(pInj func(m float64) float64) float64 {
+	if ns.sigma == 0 {
+		return pInj(1)
+	}
+	tail := stats.NormalCDF(-ns.clip)
+	p := tail * (pInj(ns.table[0]) + pInj(ns.table[len(ns.table)-1]))
+	lim := ns.clip * ns.sigma
+	h := 2 * lim / marginalSteps
+	g := func(dv float64) float64 {
+		x := dv / ns.sigma
+		return pInj(ns.at(dv)) * math.Exp(-0.5*x*x)
+	}
+	sum := 0.5 * (g(-lim) + g(lim))
+	for i := 1; i < marginalSteps; i++ {
+		sum += g(-lim + float64(i)*h)
+	}
+	p += sum * h / (ns.sigma * math.Sqrt(2*math.Pi))
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// conditionedFactor draws a delay factor from the noise distribution
+// conditioned on injection, for conditional injection probabilities
+// pInj that are monotone non-decreasing in m with upper bound
+// pUB = pInj(maxFactor()). Rejection from the unconditioned noise draw:
+// the saturation atom guarantees the marginal is at least
+// NormalCDF(-clip)*pUB, so the expected number of rounds is bounded by
+// 1/NormalCDF(-clip) (about 44 at the paper's 2-sigma clip) regardless
+// of how rare injection is. A retry budget caps the tail; on exhaustion
+// the draw falls back to the worst-case droop, where pInj peaks.
+func (ns *noiseScale) conditionedFactor(rng *rand.Rand, pInj func(m float64) float64, pUB float64) float64 {
+	if ns.sigma == 0 || pUB <= 0 {
+		return ns.maxFactor()
+	}
+	const budget = 4096
+	for i := 0; i < budget; i++ {
+		m := ns.at(rng.NormFloat64() * ns.sigma)
+		if rng.Float64()*pUB < pInj(m) {
+			return m
+		}
+	}
+	return ns.table[0]
 }
 
 // ---------------------------------------------------------------------
@@ -199,6 +339,63 @@ func (in *modelAInjector) Inject(op isa.Op, result, prev uint32, flag, prevFlag 
 	return apply(in.cfg.Sem, in.rng, viol, flagViol, result, prev, flag, prevFlag)
 }
 
+// endpointsFor counts the endpoints one query of op exposes: the result
+// bits, plus the flag flop for compares.
+func endpointsFor(op isa.Op) int {
+	if isa.IsCompare(op) {
+		return circuit.NumEndpoints
+	}
+	return circuit.Width
+}
+
+// MarginalProb implements HazardModel: with n independent endpoints at
+// flip probability p, a query injects with probability 1 - (1-p)^n
+// (model A has no noise to integrate out).
+func (m *ModelA) MarginalProb(op isa.Op) float64 {
+	return -math.Expm1(float64(endpointsFor(op)) * math.Log1p(-m.Prob))
+}
+
+// SampleAt implements HazardModel: the endpoint subset is drawn
+// conditioned on being non-empty via the exact first-index
+// decomposition (no rejection), then the configured semantics apply.
+func (m *ModelA) SampleAt(rng *rand.Rand, op isa.Op, result, prev uint32, flag, prevFlag bool) (uint32, bool, int) {
+	n := endpointsFor(op)
+	viol, flagViol := sampleSubsetUniform(rng, m.Prob, n)
+	return apply(m.Sem, rng, viol, flagViol, result, prev, flag, prevFlag)
+}
+
+// sampleSubsetUniform draws a subset of n equal-probability endpoints
+// conditioned on at least one being set: the first violated index k
+// follows its exact conditional law P(k | >=1) = (1-p)^k p / (1-(1-p)^n)
+// — sampled sequentially as P(k violates | none before, >=1 remaining) =
+// p / (1 - (1-p)^(n-k)), which telescopes to the same distribution —
+// and the endpoints above k are unconditioned Bernoulli draws. Endpoint
+// index circuit.FlagEndpoint is the compare flag.
+func sampleSubsetUniform(rng *rand.Rand, p float64, n int) (viol uint32, flagViol bool) {
+	set := func(e int) {
+		if e == circuit.FlagEndpoint {
+			flagViol = true
+		} else {
+			viol |= 1 << uint(e)
+		}
+	}
+	first := n - 1
+	for k := 0; k < n-1; k++ {
+		pk := p / -math.Expm1(float64(n-k)*math.Log1p(-p))
+		if rng.Float64() < pk {
+			first = k
+			break
+		}
+	}
+	set(first)
+	for e := first + 1; e < n; e++ {
+		if rng.Float64() < p {
+			set(e)
+		}
+	}
+	return viol, flagViol
+}
+
 // ---------------------------------------------------------------------
 // Models B and B+
 
@@ -219,6 +416,10 @@ type ModelB struct {
 	thresholds []float64
 	cumMask    []uint32
 	cumFlag    []bool
+	// thrMask is the smallest threshold whose cumulative violation mask
+	// contains a result bit — the injection onset for non-compare ops,
+	// whose flag-endpoint violations do not count.
+	thrMask float64
 }
 
 // NewModelB builds a model B/B+ instance for one operating point.
@@ -259,6 +460,12 @@ func NewModelB(alu *circuit.ALU, model timing.VddDelay, vdd, fMHz, sigma float64
 		m.cumMask = append(m.cumMask, mask)
 		m.cumFlag = append(m.cumFlag, fl)
 	}
+	for i, msk := range m.cumMask {
+		if msk != 0 {
+			m.thrMask = m.thresholds[i]
+			break
+		}
+	}
 	return m
 }
 
@@ -296,22 +503,57 @@ type modelBInjector struct {
 func (in *modelBInjector) Inject(op isa.Op, result, prev uint32, flag, prevFlag bool) (uint32, bool, int) {
 	c := in.cfg
 	mNoise := c.noise.sample(in.rng)
+	viol, flagViol := c.violationsAt(mNoise, op)
+	return apply(c.sem, in.rng, viol, flagViol, result, prev, flag, prevFlag)
+}
+
+// violationsAt resolves the violation set at a sampled delay factor:
+// every endpoint whose threshold the factor exceeds, with the flag
+// endpoint counting only on compares. Shared by Inject and SampleAt.
+func (m *ModelB) violationsAt(mNoise float64, op isa.Op) (uint32, bool) {
 	// Find how many thresholds are exceeded.
-	lo, hi := 0, len(c.thresholds)
+	lo, hi := 0, len(m.thresholds)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if c.thresholds[mid] < mNoise {
+		if m.thresholds[mid] < mNoise {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
 	if lo == 0 {
-		return result, flag, 0
+		return 0, false
 	}
-	viol := c.cumMask[lo-1]
-	flagViol := c.cumFlag[lo-1] && isa.IsCompare(op)
-	return apply(c.sem, in.rng, viol, flagViol, result, prev, flag, prevFlag)
+	return m.cumMask[lo-1], m.cumFlag[lo-1] && isa.IsCompare(op)
+}
+
+// firstThreshold returns the smallest delay factor above which a query
+// with op injects at least one countable endpoint: the very first
+// threshold for compares (the flag flop counts), the first threshold
+// with a result bit otherwise.
+func (m *ModelB) firstThreshold(op isa.Op) float64 {
+	if isa.IsCompare(op) {
+		return m.thresholds[0]
+	}
+	return m.thrMask
+}
+
+// MarginalProb implements HazardModel: the probability that the sampled
+// delay factor crosses the op's injection onset, computed exactly from
+// the clipped-Gaussian noise model (deterministically 0 or 1 for model
+// B without noise).
+func (m *ModelB) MarginalProb(op isa.Op) float64 {
+	return m.noise.exceedProb(m.firstThreshold(op))
+}
+
+// SampleAt implements HazardModel: the delay factor is drawn conditioned
+// on crossing the op's injection onset by exact CDF inversion, then the
+// violation set and semantics follow the per-cycle path.
+func (m *ModelB) SampleAt(rng *rand.Rand, op isa.Op, result, prev uint32, flag, prevFlag bool) (uint32, bool, int) {
+	t := m.firstThreshold(op)
+	mNoise := m.noise.exceedFactor(rng, t, m.noise.exceedProb(t))
+	viol, flagViol := m.violationsAt(mNoise, op)
+	return apply(m.sem, rng, viol, flagViol, result, prev, flag, prevFlag)
 }
 
 // ---------------------------------------------------------------------
@@ -341,6 +583,101 @@ type opTable struct {
 	pNone  []float64
 	pBit   [][]float64 // [endpoint][grid index]
 	active []int       // endpoints with nonzero probability anywhere
+
+	// haz is the table's first-fault sampling state, built lazily on
+	// first MarginalProb/SampleAt use (tables are private to one model,
+	// so the model's operating point and sampling mode are fixed).
+	haz struct {
+		once sync.Once
+		// prob is the marginal per-query injection probability.
+		prob float64
+		// sortedMax / order support joint conditional sampling:
+		// MaxPerCycle ascending, and cycle indices by MaxPerCycle
+		// descending (the first k entries are exactly the k violating
+		// cycles at any effective period).
+		sortedMax []float64
+		order     []int
+	}
+}
+
+// gridIndex maps an effective period to its probability-grid index,
+// exactly as the per-cycle injector does.
+func (t *opTable) gridIndex(eff float64) int {
+	idx := int(eff / t.stepPs)
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
+// violCycles counts characterization cycles whose worst arrival plus
+// setup exceeds the effective period (requires haz.sortedMax).
+func (t *opTable) violCycles(eff float64) int {
+	x := eff - t.ch.SetupPs
+	i := sort.SearchFloat64s(t.haz.sortedMax, math.Nextafter(x, math.Inf(1)))
+	return len(t.haz.sortedMax) - i
+}
+
+// violationsAtCycle folds characterization cycle j's arrivals into a
+// violation set at the effective period — the joint-sampling capture
+// law, shared by Inject and SampleAt.
+func (t *opTable) violationsAtCycle(j int, eff float64) (viol uint32, flagViol bool) {
+	for e := 0; e < t.nEP; e++ {
+		if t.ch.Arrivals[e][j]+t.ch.SetupPs > eff {
+			if e == circuit.FlagEndpoint {
+				flagViol = true
+			} else {
+				viol |= 1 << uint(e)
+			}
+		}
+	}
+	return viol, flagViol
+}
+
+// sampleSubsetAt draws the violated endpoint subset at grid index idx
+// conditioned on it being non-empty: the first violated active endpoint
+// follows its exact conditional law (the heterogeneous-probability
+// analogue of sampleSubsetUniform), the endpoints after it are
+// unconditioned Bernoulli draws.
+func (t *opTable) sampleSubsetAt(rng *rand.Rand, idx int) (viol uint32, flagViol bool) {
+	set := func(e int) {
+		if e == circuit.FlagEndpoint {
+			flagViol = true
+		} else {
+			viol |= 1 << uint(e)
+		}
+	}
+	r := rng.Float64() * (1 - t.pNone[idx])
+	acc, pref := 0.0, 1.0
+	first, lastNonzero := -1, -1
+	for k, e := range t.active {
+		p := t.pBit[e][idx]
+		if p > 0 {
+			lastNonzero = k
+		}
+		acc += pref * p
+		if r < acc {
+			first = k
+			break
+		}
+		pref *= 1 - p
+	}
+	if first < 0 {
+		// Round-off at the top of the conditional mass (or a degenerate
+		// grid slot): fall back to the last endpoint that can violate
+		// here at all.
+		first = lastNonzero
+		if first < 0 {
+			first = len(t.active) - 1
+		}
+	}
+	set(t.active[first])
+	for _, e := range t.active[first+1:] {
+		if rng.Float64() < t.pBit[e][idx] {
+			set(e)
+		}
+	}
+	return viol, flagViol
 }
 
 // ModelCConfig carries model C construction parameters.
@@ -436,6 +773,103 @@ func (m *ModelC) OnsetMHz(op isa.Op) float64 {
 	return 1e6 / t.maxPs
 }
 
+// injectProbAt returns the conditional probability that one query on
+// this table injects, given the cycle's sampled delay factor — the
+// quantity the per-cycle injector realizes with its Bernoulli draws,
+// evaluated in closed form. Shared by the marginalization and the
+// conditioned noise sampler.
+func (m *ModelC) injectProbAt(t *opTable, mNoise float64) float64 {
+	eff := m.periodPs / mNoise
+	if eff >= t.maxPs {
+		return 0
+	}
+	if m.sampling == Joint {
+		return float64(t.violCycles(eff)) / float64(t.ch.Cycles)
+	}
+	return 1 - t.pNone[t.gridIndex(eff)]
+}
+
+// hazardOf lazily computes the table's first-fault sampling state: the
+// marginal injection probability (noise integrated out numerically over
+// the noiseScale table), and the sorted cycle index joint sampling
+// conditions on. Tables are private to one model instance, so a single
+// sync.Once per table suffices.
+func (m *ModelC) hazardOf(t *opTable) float64 {
+	t.haz.once.Do(func() {
+		if m.sampling == Joint {
+			n := t.ch.Cycles
+			t.haz.sortedMax = make([]float64, n)
+			copy(t.haz.sortedMax, t.ch.MaxPerCycle)
+			sort.Float64s(t.haz.sortedMax)
+			t.haz.order = make([]int, n)
+			for i := range t.haz.order {
+				t.haz.order[i] = i
+			}
+			sort.SliceStable(t.haz.order, func(a, b int) bool {
+				return t.ch.MaxPerCycle[t.haz.order[a]] > t.ch.MaxPerCycle[t.haz.order[b]]
+			})
+		}
+		t.haz.prob = m.noise.marginal(func(f float64) float64 { return m.injectProbAt(t, f) })
+	})
+	return t.haz.prob
+}
+
+// MarginalProb implements HazardModel: the injection probability of one
+// query with op, marginalized over the supply-noise distribution.
+func (m *ModelC) MarginalProb(op isa.Op) float64 {
+	t := m.tables[op]
+	if t == nil {
+		return 0
+	}
+	return m.hazardOf(t)
+}
+
+// SampleAt implements HazardModel: the delay factor is drawn from the
+// noise distribution conditioned on injection (bounded rejection against
+// the worst-droop upper bound), then the violated endpoint subset is
+// drawn conditioned on non-emptiness — exactly the law of Inject given
+// that it flips at least one countable endpoint.
+func (m *ModelC) SampleAt(rng *rand.Rand, op isa.Op, result, prev uint32, flag, prevFlag bool) (uint32, bool, int) {
+	t := m.tables[op]
+	if t == nil {
+		return result, flag, 0 // unreachable: MarginalProb(op) = 0
+	}
+	m.hazardOf(t) // ensure the joint cycle index exists
+	pInj := func(f float64) float64 { return m.injectProbAt(t, f) }
+	mNoise := m.noise.conditionedFactor(rng, pInj, pInj(m.noise.maxFactor()))
+	eff := m.periodPs / mNoise
+	var viol uint32
+	var flagViol bool
+	if m.sampling == Joint {
+		k := t.violCycles(eff)
+		if k <= 0 {
+			k = 1 // unreachable: conditioning guarantees >= 1 violating cycle
+		}
+		j := t.haz.order[rng.Intn(k)]
+		viol, flagViol = t.violationsAtCycle(j, eff)
+	} else {
+		viol, flagViol = t.sampleSubsetAt(rng, t.gridIndex(eff))
+	}
+	if !isa.IsCompare(op) {
+		flagViol = false
+	}
+	if viol == 0 && !flagViol {
+		// Unreachable with the current unit mapping (only compare ops
+		// use the flagged table, so the guard above can never discard
+		// the sole violation), but if a non-compare op ever shares a
+		// flagged table, keep SampleAt's >=1-flip contract by forcing
+		// the strongest result-bit endpoint.
+		best, idx := 0, t.gridIndex(eff)
+		for e := 0; e < circuit.Width; e++ {
+			if t.pBit[e][idx] > t.pBit[best][idx] {
+				best = e
+			}
+		}
+		viol = 1 << uint(best)
+	}
+	return apply(m.sem, rng, viol, flagViol, result, prev, flag, prevFlag)
+}
+
 type modelCInjector struct {
 	cfg *ModelC
 	rng *rand.Rand
@@ -456,16 +890,32 @@ func (in *modelCInjector) Inject(op isa.Op, result, prev uint32, flag, prevFlag 
 	var flagViol bool
 	switch c.sampling {
 	case Independent:
-		idx := int(eff / t.stepPs)
-		if idx < 0 {
-			idx = 0
-		}
+		idx := t.gridIndex(eff)
 		if in.rng.Float64() < t.pNone[idx] {
 			return result, flag, 0
 		}
-		// At least one endpoint violates; sample the subset
-		// conditioned on non-emptiness by rejection.
-		for {
+		// At least one endpoint violates; sample the subset conditioned
+		// on non-emptiness by rejection. Each round succeeds with
+		// probability 1 - pNone, but degenerate tables (near-zero pBit
+		// entries alongside pNone < 1) could spin unboundedly, so after
+		// a fixed retry budget the highest-probability active endpoint
+		// is forced instead.
+		const rejectBudget = 4096
+		for round := 0; viol == 0 && !flagViol; round++ {
+			if round == rejectBudget {
+				best := t.active[0]
+				for _, e := range t.active {
+					if t.pBit[e][idx] > t.pBit[best][idx] {
+						best = e
+					}
+				}
+				if best == circuit.FlagEndpoint {
+					flagViol = true
+				} else {
+					viol |= 1 << uint(best)
+				}
+				break
+			}
 			for _, e := range t.active {
 				if in.rng.Float64() < t.pBit[e][idx] {
 					if e == circuit.FlagEndpoint {
@@ -475,24 +925,13 @@ func (in *modelCInjector) Inject(op isa.Op, result, prev uint32, flag, prevFlag 
 					}
 				}
 			}
-			if viol != 0 || flagViol {
-				break
-			}
 		}
 	case Joint:
 		j := in.rng.Intn(t.ch.Cycles)
 		if t.ch.MaxPerCycle[j]+t.ch.SetupPs <= eff {
 			return result, flag, 0
 		}
-		for e := 0; e < t.nEP; e++ {
-			if t.ch.Arrivals[e][j]+t.ch.SetupPs > eff {
-				if e == circuit.FlagEndpoint {
-					flagViol = true
-				} else {
-					viol |= 1 << uint(e)
-				}
-			}
-		}
+		viol, flagViol = t.violationsAtCycle(j, eff)
 	}
 	// Only compares latch the flag endpoint.
 	if !isa.IsCompare(op) {
@@ -512,6 +951,15 @@ func (NullModel) Name() string { return "none" }
 
 // NewTrial implements Model.
 func (NullModel) NewTrial(*rand.Rand) Injector { return nullInjector{} }
+
+// MarginalProb implements HazardModel: the null model never injects, so
+// first-fault sampling resolves every trial to the golden run.
+func (NullModel) MarginalProb(isa.Op) float64 { return 0 }
+
+// SampleAt implements HazardModel; unreachable under a zero hazard.
+func (NullModel) SampleAt(_ *rand.Rand, _ isa.Op, r, _ uint32, f, _ bool) (uint32, bool, int) {
+	return r, f, 0
+}
 
 type nullInjector struct{}
 

@@ -1,0 +1,132 @@
+// First-fault sampling: the closed-form alternative to scanning a
+// golden trace query by query.
+//
+// Every injector in this package is memoryless — each Inject decision
+// depends only on the op (and the trial RNG), never on earlier queries —
+// so over a fixed golden query stream a trial's first injected fault is
+// distributed as the first success of a sequence of independent
+// Bernoulli trials with per-query hazards h_i = MarginalProb(op_i). A
+// Hazard precomputes the prefix log-survival of that sequence, after
+// which one uniform draw and a binary search replace the whole per-cycle
+// replay scan: sample the first-fault index T from P(T > i) = S_{i+1},
+// then draw the corrupted capture at T from the model conditioned on
+// injection (SampleAt). Fault-free trials — the overwhelming majority
+// below the point of first failure — cost O(log n) instead of O(n) RNG
+// draws and table lookups.
+//
+// The resulting trial law matches the replay scan distributionally, not
+// bit-for-bit: the RNG stream is consumed differently, so fixed-seed
+// results differ while every aggregate converges to the same value (the
+// statistical-equivalence tests in internal/mc pin this).
+package fi
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// HazardModel is a Model that can additionally report, for one injector
+// query, its injection probability with the supply noise integrated out
+// (MarginalProb — "injection" meaning Inject would flip at least one
+// countable endpoint), and draw a query's corrupted capture conditioned
+// on injection (SampleAt, the fork-query draw of first-fault sampling).
+// All models in this package implement it.
+type HazardModel interface {
+	Model
+	// MarginalProb returns the probability that one query with op
+	// injects, marginalized over the per-cycle noise distribution.
+	MarginalProb(op isa.Op) float64
+	// SampleAt draws (noise, endpoint subset) conditioned on injection
+	// and applies the model's fault semantics to the query's values; the
+	// returned flip count is always at least 1.
+	SampleAt(rng *rand.Rand, op isa.Op, result, prevResult uint32, flag, prevFlag bool) (uint32, bool, int)
+}
+
+// Hazard is the first-fault sampling table of one (golden trace, model)
+// pair. It is immutable after construction, safe for concurrent use,
+// and gob-encodable for the artifact store (both fields are exported
+// for that reason; treat them as read-only).
+type Hazard struct {
+	// PerOp[op] is the marginal per-query injection probability of op
+	// over this model (zero for ops absent from the trace).
+	PerOp []float64
+	// LogSurv[k] is the log-probability that queries 0..k-1 all stay
+	// fault-free: LogSurv[0] = 0, non-increasing, length len(queries)+1.
+	// A deterministic injection (hazard 1) drives it to -Inf.
+	LogSurv []float64
+}
+
+// BuildHazard marginalizes the model once per distinct op in the query
+// stream and folds the per-query hazards into the prefix log-survival
+// array. Summation is Kahan-compensated so the array matches the
+// brute-force product of per-query survival probabilities to ~1e-14
+// even over long traces.
+func BuildHazard(m HazardModel, qs []TraceQuery) *Hazard {
+	h := &Hazard{
+		PerOp:   make([]float64, isa.NumOps),
+		LogSurv: make([]float64, len(qs)+1),
+	}
+	seen := make([]bool, isa.NumOps)
+	sum, comp := 0.0, 0.0
+	for i := range qs {
+		op := qs[i].Op
+		if !seen[op] {
+			seen[op] = true
+			h.PerOp[op] = m.MarginalProb(op)
+		}
+		d := math.Log1p(-h.PerOp[op]) // -Inf at hazard 1
+		y := d - comp
+		t := sum + y
+		if math.IsInf(t, -1) {
+			sum, comp = t, 0
+		} else {
+			comp = (t - sum) - y
+			sum = t
+		}
+		h.LogSurv[i+1] = sum
+	}
+	return h
+}
+
+// Queries reports the query-stream length the hazard was built over.
+func (h *Hazard) Queries() int { return len(h.LogSurv) - 1 }
+
+// Survival returns the probability that a whole trial stays fault-free.
+func (h *Hazard) Survival() float64 {
+	return math.Exp(h.LogSurv[len(h.LogSurv)-1])
+}
+
+// SampleIndex draws the first-fault query index by inverting the
+// survival function with a single uniform draw and a binary search over
+// the prefix array; ok is false when the trial survives the whole trace
+// (probability Survival).
+func (h *Hazard) SampleIndex(rng *rand.Rand) (int, bool) {
+	n := len(h.LogSurv) - 1
+	u := 1 - rng.Float64() // (0, 1], so P(u <= s) = s exactly
+	lu := math.Log(u)
+	if lu <= h.LogSurv[n] {
+		return 0, false
+	}
+	// Smallest i with S_{i+1} < u <= S_i: first fault at query i with
+	// probability S_i - S_{i+1} = S_i * h_i.
+	return sort.Search(n, func(i int) bool { return h.LogSurv[i+1] < lu }), true
+}
+
+// FirstFault decides one trial against the golden query stream in
+// O(log n): the first-fault query index comes from the hazard table,
+// the corrupted capture at it from the model conditioned on injection.
+// ok is false for a fault-free trial (the trial is the golden run). The
+// returned Fork plugs into NewForkInjector exactly like a ScanTrace
+// fork; qs must be the stream h was built over.
+func FirstFault(m HazardModel, h *Hazard, rng *rand.Rand, qs []TraceQuery) (Fork, bool) {
+	i, ok := h.SampleIndex(rng)
+	if !ok {
+		return Fork{}, false
+	}
+	q := &qs[i]
+	out, outFlag, flipped := m.SampleAt(rng, q.Op, q.Result, q.Prev, q.Flag, q.PrevFlag)
+	return Fork{Query: i, Out: out, OutFlag: outFlag, Flipped: flipped}, true
+}

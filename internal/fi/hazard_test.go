@@ -1,0 +1,271 @@
+package fi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// hazardModels builds one instance of every model kind at an operating
+// point inside model C's transition region, for the given semantics and
+// (for C) sampling mode.
+func hazardModels(t *testing.T, sem Semantics, sampling Sampling) map[string]HazardModel {
+	t.Helper()
+	alu, ch := fixture()
+	mc, err := NewModelC(ch, ModelCConfig{
+		Vdd: 0.7, FreqMHz: 860, Sigma: 0.010,
+		Sem: sem, Sampling: sampling,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]HazardModel{
+		"A":    &ModelA{Prob: 3e-4, Sem: sem},
+		"B":    NewModelB(alu, timing.DefaultVddDelay(), 0.7, 709, 0, sem),
+		"B+":   NewModelB(alu, timing.DefaultVddDelay(), 0.7, 700, 0.010, sem),
+		"C":    mc,
+		"none": NullModel{},
+	}
+}
+
+// hazardQueries synthesizes a query stream cycling through a mix of ALU
+// ops (arithmetic, logic, shift, compare) so every characterization
+// table and the flag endpoint participate.
+func hazardQueries(n int) []TraceQuery {
+	ops := []isa.Op{
+		isa.OpAdd, isa.OpMul, isa.OpXor, isa.OpSll,
+		isa.OpSfeq, isa.OpAddi, isa.OpSub, isa.OpSfgtu,
+	}
+	rng := stats.NewRand(17)
+	qs := make([]TraceQuery, n)
+	for i := range qs {
+		qs[i] = TraceQuery{
+			Op:     ops[i%len(ops)],
+			Result: rng.Uint32(), Prev: rng.Uint32(),
+			Flag: rng.Intn(2) == 0, PrevFlag: rng.Intn(2) == 0,
+		}
+	}
+	return qs
+}
+
+// TestHazardPrefixMatchesBruteForceProduct is the hazard-math exactness
+// property: for every model kind and both semantics, the prefix
+// log-survival array must equal the brute-force product of per-query
+// (1 - MarginalProb) to 1e-12.
+func TestHazardPrefixMatchesBruteForceProduct(t *testing.T) {
+	qs := hazardQueries(3000)
+	for _, sem := range []Semantics{FlipBit, StaleCapture} {
+		for _, sampling := range []Sampling{Independent, Joint} {
+			for name, m := range hazardModels(t, sem, sampling) {
+				h := BuildHazard(m, qs)
+				if h.Queries() != len(qs) {
+					t.Fatalf("%s: hazard over %d queries, want %d", name, h.Queries(), len(qs))
+				}
+				if h.LogSurv[0] != 0 {
+					t.Errorf("%s: LogSurv[0] = %v, want 0", name, h.LogSurv[0])
+				}
+				prod := 1.0
+				for i, q := range qs {
+					p := m.MarginalProb(q.Op)
+					if p != h.PerOp[q.Op] {
+						t.Fatalf("%s/%v: PerOp[%v] = %v, MarginalProb = %v",
+							name, sem, q.Op, h.PerOp[q.Op], p)
+					}
+					prod *= 1 - p
+					got := math.Exp(h.LogSurv[i+1])
+					if math.Abs(got-prod) > 1e-12 {
+						t.Fatalf("%s/%v/%v: survival after %d queries %v, brute-force product %v",
+							name, sem, sampling, i+1, got, prod)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMarginalProbMatchesInjectFrequency pins the marginalization
+// against the ground truth: the empirical injection frequency of the
+// per-cycle Inject path. Fixed seeds keep the check deterministic; the
+// tolerance is five binomial sigmas plus the documented integration
+// error.
+func TestMarginalProbMatchesInjectFrequency(t *testing.T) {
+	const trials = 300_000
+	ops := []isa.Op{isa.OpAdd, isa.OpMul, isa.OpSfeq}
+	for _, sampling := range []Sampling{Independent, Joint} {
+		for name, m := range hazardModels(t, FlipBit, sampling) {
+			rng := stats.NewRand(23)
+			inj := m.NewTrial(rng)
+			for _, op := range ops {
+				p := m.MarginalProb(op)
+				if p < 0 || p > 1 {
+					t.Fatalf("%s: MarginalProb(%v) = %v", name, op, p)
+				}
+				hits := 0
+				for i := 0; i < trials; i++ {
+					if _, _, flips := inj.Inject(op, 0xdeadbeef, 0x01234567, true, false); flips > 0 {
+						hits++
+					}
+				}
+				got := float64(hits) / trials
+				tol := 5*math.Sqrt(math.Max(p*(1-p), 1e-9)/trials) + 2e-5
+				if math.Abs(got-p) > tol {
+					t.Errorf("%s/%v op %v: empirical injection rate %v, marginal %v (tol %v)",
+						name, sampling, op, got, p, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestSampleAtAlwaysFlips pins SampleAt's contract: conditioned on
+// injection, every draw flips at least one countable endpoint, and its
+// mean flip count agrees with Inject's conditional mean (same law).
+func TestSampleAtAlwaysFlips(t *testing.T) {
+	const draws = 50_000
+	ops := []isa.Op{isa.OpAdd, isa.OpMul, isa.OpSfeq}
+	for _, sem := range []Semantics{FlipBit, StaleCapture} {
+		for _, sampling := range []Sampling{Independent, Joint} {
+			for name, m := range hazardModels(t, sem, sampling) {
+				for _, op := range ops {
+					if m.MarginalProb(op) == 0 {
+						continue // SampleAt is unreachable for this op
+					}
+					rng := stats.NewRand(31)
+					var sampleFlips float64
+					for i := 0; i < draws; i++ {
+						_, _, flips := m.SampleAt(rng, op, 0xdeadbeef, 0x01234567, true, false)
+						if flips < 1 {
+							t.Fatalf("%s/%v/%v op %v: SampleAt flipped %d endpoints",
+								name, sem, sampling, op, flips)
+						}
+						sampleFlips += float64(flips)
+					}
+					sampleFlips /= draws
+					// Conditional mean of the per-cycle reference path.
+					rng = stats.NewRand(37)
+					inj := m.NewTrial(rng)
+					var injFlips float64
+					injHits := 0
+					for i := 0; i < 600_000 && injHits < draws; i++ {
+						if _, _, flips := inj.Inject(op, 0xdeadbeef, 0x01234567, true, false); flips > 0 {
+							injFlips += float64(flips)
+							injHits++
+						}
+					}
+					if injHits < 1000 {
+						continue // too rare to compare means meaningfully
+					}
+					injFlips /= float64(injHits)
+					if diff := math.Abs(sampleFlips - injFlips); diff > 0.12*math.Max(injFlips, 1) {
+						t.Errorf("%s/%v/%v op %v: conditional mean flips %v (SampleAt) vs %v (Inject, n=%d)",
+							name, sem, sampling, op, sampleFlips, injFlips, injHits)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSampleIndexDistribution pins the inversion sampler against the
+// analytic first-fault law on a synthetic hazard model: the fault-free
+// fraction must match Survival and the empirical first-fault index
+// frequencies their exact probabilities.
+func TestSampleIndexDistribution(t *testing.T) {
+	qs := hazardQueries(64)
+	m := &ModelA{Prob: 4e-4, Sem: FlipBit} // per-query hazard ~1.3%
+	h := BuildHazard(m, qs)
+	const trials = 400_000
+	rng := stats.NewRand(41)
+	counts := make([]int, len(qs))
+	free := 0
+	for i := 0; i < trials; i++ {
+		idx, ok := h.SampleIndex(rng)
+		if !ok {
+			free++
+			continue
+		}
+		counts[idx]++
+	}
+	s := h.Survival()
+	if got := float64(free) / trials; math.Abs(got-s) > 5*math.Sqrt(s*(1-s)/trials) {
+		t.Errorf("fault-free fraction %v, survival %v", got, s)
+	}
+	for i := range qs {
+		exact := math.Exp(h.LogSurv[i]) - math.Exp(h.LogSurv[i+1])
+		got := float64(counts[i]) / trials
+		if math.Abs(got-exact) > 5*math.Sqrt(exact*(1-exact)/trials)+1e-6 {
+			t.Errorf("P(first fault at %d) = %v, want %v", i, got, exact)
+		}
+	}
+}
+
+// TestHazardDeterministicInjection pins the hazard-1 edge: model B
+// above its STA limit injects on every query, so the log-survival hits
+// -Inf and every sampled trial faults at query 0.
+func TestHazardDeterministicInjection(t *testing.T) {
+	alu, _ := fixture()
+	m := NewModelB(alu, timing.DefaultVddDelay(), 0.7, 740, 0, FlipBit)
+	if p := m.MarginalProb(isa.OpAdd); p != 1 {
+		t.Fatalf("model B far above STA: MarginalProb = %v, want 1", p)
+	}
+	qs := hazardQueries(16)
+	h := BuildHazard(m, qs)
+	if !math.IsInf(h.LogSurv[len(h.LogSurv)-1], -1) || h.Survival() != 0 {
+		t.Errorf("survival = %v, want 0", h.Survival())
+	}
+	rng := stats.NewRand(43)
+	for i := 0; i < 1000; i++ {
+		idx, ok := h.SampleIndex(rng)
+		if !ok || idx != 0 {
+			t.Fatalf("deterministic injection sampled (%d, %v), want (0, true)", idx, ok)
+		}
+	}
+	fork, ok := FirstFault(m, h, rng, qs)
+	if !ok || fork.Query != 0 || fork.Flipped < 1 {
+		t.Errorf("FirstFault = %+v, %v", fork, ok)
+	}
+}
+
+// TestModelCRejectionLoopBounded is the regression for the bounded
+// rejection loop: a degenerate table whose pNone promises injection
+// while every pBit is vanishingly small must still terminate (via the
+// retry-budget fallback) and flip the highest-probability endpoint.
+func TestModelCRejectionLoopBounded(t *testing.T) {
+	tbl := &opTable{
+		nEP:    circuit.Width,
+		maxPs:  4000,
+		stepPs: 1,
+		pNone:  make([]float64, 4002),
+		pBit:   make([][]float64, circuit.Width),
+		active: []int{3, 7},
+	}
+	for e := range tbl.pBit {
+		tbl.pBit[e] = make([]float64, 4002)
+	}
+	for i := range tbl.pNone {
+		// pNone = 0 claims certain injection; the per-endpoint draws
+		// below can essentially never realize one.
+		tbl.pNone[i] = 0
+		tbl.pBit[3][i] = 1e-300
+		tbl.pBit[7][i] = 2e-300
+	}
+	m := &ModelC{
+		sem:      FlipBit,
+		sampling: Independent,
+		periodPs: circuit.PeriodPs(700),
+		noise:    newNoiseScale(timing.DefaultVddDelay(), 0.7, timing.NewNoise(0)),
+	}
+	m.tables[isa.OpAdd] = tbl
+	inj := m.NewTrial(stats.NewRand(47))
+	out, _, flips := inj.Inject(isa.OpAdd, 0xffffffff, 0, false, false)
+	if flips != 1 {
+		t.Fatalf("degenerate table flipped %d endpoints, want the forced fallback (1)", flips)
+	}
+	if out != 0xffffffff^(1<<7) {
+		t.Errorf("fallback did not force the highest-probability endpoint: out %08x", out)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dta"
+	"repro/internal/fi"
 )
 
 // Axes lists the grid dimensions. An empty axis collapses to the single
@@ -125,18 +126,30 @@ func (g Grid) Cells() []Cell {
 // cellKey spells out everything a cell's Point depends on: the system
 // fingerprint (netlists, DTA, Vdd-delay, CPU timing), the benchmark's
 // program content (core.BenchDigest, so editing a kernel invalidates
-// its cells) and input seed, the resolved model spec, and every
-// trial-allocation parameter. Workers and DisableReplay are
-// deliberately absent: the engine guarantees bit-identical results
-// across schedules and across the replay/full paths (pinned by the
-// differential tests), so those knobs must not fragment the cache.
-// Map-valued fields (the operand profile) print in sorted key order,
-// so the string is canonical.
+// its cells) and input seed, the resolved model spec, every
+// trial-allocation parameter, and the trial path class. Workers is
+// deliberately absent (the engine guarantees bit-identical results
+// across schedules), and the scan and full paths share the "exact"
+// class because they are bit-identical by the differential tests —
+// but first-fault sampling draws a different RNG stream, so its cells
+// must not alias theirs. Map-valued fields (the operand profile) print
+// in sorted key order, so the string is canonical.
 func cellKey(fingerprint, benchDigest string, s Spec, c Cell) string {
-	return fmt.Sprintf("sys=%s|bench=%s|prog=%s|inputSeed=%d|model=%+v|trials=%d|tmin=%d|tmax=%d|z=%g|eps=%g|seed=%d|wf=%g",
+	// The firstfault class matches exactly when runTrialFirstFault will
+	// serve the cell: ModeAuto, a shared golden run (fixed inputs), and
+	// a watchdog budget that admits it (newBenchCtx keeps the golden
+	// trace iff WatchdogFactor >= 1). Every built-in model kind is a
+	// fi.HazardModel, so the model needs no say here; a key is in any
+	// case a pure function of inputs that determine the path, so it can
+	// never alias results computed under a different law.
+	path := "exact"
+	if s.Mode == ModeAuto && !c.Bench.PerTrialInputs && s.WatchdogFactor >= 1 {
+		path = "firstfault"
+	}
+	return fmt.Sprintf("sys=%s|bench=%s|prog=%s|inputSeed=%d|model=%+v|trials=%d|tmin=%d|tmax=%d|z=%g|eps=%g|seed=%d|wf=%g|path=%s",
 		fingerprint, c.Bench.Name, benchDigest, s.InputSeed, c.Model,
 		s.Trials, s.TrialsMin, s.TrialsMax, s.WilsonZ, s.CorrectEps,
-		s.Seed, s.WatchdogFactor)
+		s.Seed, s.WatchdogFactor, path)
 }
 
 // loadCell fetches a checkpointed cell Point; any untrusted blob is a
@@ -212,7 +225,22 @@ func (g Grid) Run() ([]CellResult, error) {
 			}
 			ctxs[c.Bench.Name] = ctx
 		}
-		live = append(live, &pointState{cell: c, ctx: ctx, model: model, key: key})
+		ps := &pointState{cell: c, ctx: ctx, model: model, key: key}
+		if s.Mode == ModeAuto && ctx.golden != nil {
+			// First-fault sampling: fetch (or build and cache) the cell's
+			// hazard table over the shared golden trace. Every built-in
+			// model is a HazardModel; the type assertion keeps custom
+			// injectors on the scan path instead of failing.
+			if hm, ok := model.(fi.HazardModel); ok {
+				hz, err := s.System.Hazard(c.Bench, s.InputSeed, c.Model)
+				if err != nil {
+					modelErr = err
+					break
+				}
+				ps.hazModel, ps.hazard = hm, hz
+			}
+		}
+		live = append(live, ps)
 		results = append(results, CellResult{Bench: c.Bench.Name, Model: c.Model})
 		liveIdx = append(liveIdx, len(results)-1)
 	}

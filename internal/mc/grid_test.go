@@ -9,14 +9,16 @@ import (
 	"repro/internal/core"
 )
 
-// The tentpole differential: a single-axis (frequency) grid must be
+// The grid-engine differential: a single-axis (frequency) grid must be
 // bit-identical to Sweep and to the point-serial pre-engine reference
-// for a fixed seed.
+// for a fixed seed (pinned on the scan path, whose trials execute the
+// same law as the serial reference bit for bit).
 func TestGridSingleAxisMatchesSweepAndSerial(t *testing.T) {
 	spec := Spec{
 		System: system(),
 		Bench:  bench.Median(),
 		Model:  core.ModelSpec{Kind: "B+", Vdd: 0.7, Sigma: 0.010},
+		Mode:   ModeScan,
 		Trials: 24,
 		Seed:   7,
 	}
@@ -255,6 +257,9 @@ func TestWarmStartSkipsCharacterizationAndRecording(t *testing.T) {
 	if cold.GoldenRecordedCount() == 0 {
 		t.Fatal("cold run did not record a golden trace — fixture broken")
 	}
+	if cold.HazardBuiltCount() == 0 {
+		t.Fatal("cold run did not build a hazard table — fixture broken")
+	}
 
 	warm := newSys()
 	warmPts := run(warm)
@@ -264,9 +269,12 @@ func TestWarmStartSkipsCharacterizationAndRecording(t *testing.T) {
 	if n := warm.GoldenRecordedCount(); n != 0 {
 		t.Errorf("warm run re-recorded %d golden traces, want 0", n)
 	}
-	if warm.Char.LoadedCount() == 0 || warm.GoldenLoadedCount() == 0 {
-		t.Errorf("warm run did not load from the store (char %d, golden %d)",
-			warm.Char.LoadedCount(), warm.GoldenLoadedCount())
+	if n := warm.HazardBuiltCount(); n != 0 {
+		t.Errorf("warm run rebuilt %d hazard tables, want 0", n)
+	}
+	if warm.Char.LoadedCount() == 0 || warm.GoldenLoadedCount() == 0 || warm.HazardLoadedCount() == 0 {
+		t.Errorf("warm run did not load from the store (char %d, golden %d, hazard %d)",
+			warm.Char.LoadedCount(), warm.GoldenLoadedCount(), warm.HazardLoadedCount())
 	}
 	if !reflect.DeepEqual(coldPts, warmPts) {
 		t.Errorf("warm-start points drifted:\n%+v\n%+v", coldPts, warmPts)

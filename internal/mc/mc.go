@@ -23,15 +23,31 @@
 // checkpoint to disk and a resumed grid loads them instead of
 // recomputing (see Grid).
 //
-// Trials with fixed inputs run on the golden-trace replay fast path:
-// the fault model's injector is driven over one recorded fault-free
-// execution (core.System.Golden), and only trials in which it actually
-// flips an endpoint bit fork into full cycle-accurate simulation,
-// resuming from the nearest recorded checkpoint. Below the point of
-// first failure most trials never inject, so a point costs little more
-// than one injector query per kernel ALU cycle per trial. The path is
-// bit-identical to full execution for a fixed seed; RunFull forces the
-// full reference path (Spec.DisableReplay does the same inside sweeps).
+// Trials with fixed inputs run, by default, on the first-fault sampling
+// fast path (Spec.Mode = ModeAuto): the per-query injection probability
+// of the cell's model is marginalized over the noise distribution once
+// per (golden trace, model) into a prefix log-survival array
+// (core.System.Hazard), and each trial draws its first-fault query
+// index with a single uniform draw and a binary search. Fault-free
+// trials — the overwhelming majority below the point of first failure —
+// cost O(log n) instead of one injector query (noise sample, table
+// lookup, uniform draws) per recorded ALU cycle, turning the dominant
+// Monte-Carlo cost from O(cycles x RNG draws) into O(faults). Faulting
+// trials draw the corrupted capture conditioned on injection
+// (fi.HazardModel.SampleAt) and fork into full cycle-accurate
+// simulation from the nearest recorded checkpoint, exactly like the
+// replay scan. First-fault results are deterministic per (Seed, trial
+// index) and statistically equivalent to the scan path — same law,
+// different RNG stream — pinned by hazard-exactness unit tests and
+// Wilson-interval agreement tests in this package.
+//
+// ModeScan forces the PR-2 golden-trace replay scan: the injector is
+// driven over every recorded ALU query (fi.ScanTrace) and only trials
+// that actually flip fork into full simulation. The scan is
+// bit-identical to full execution for a fixed seed; it is kept as the
+// exact reference for the sampling path. ModeFull (or RunFull, or
+// Spec.DisableReplay) forces full ISS execution for every trial — the
+// reference the scan is differentially tested against.
 //
 // Optionally, trial allocation is adaptive (TrialsMin/TrialsMax): a
 // point starts with TrialsMin trials and grows in TrialsMin batches
@@ -59,6 +75,35 @@ import (
 
 func newMem() *mem.Memory { return mem.New() }
 
+// Mode selects the per-trial execution strategy.
+type Mode uint8
+
+const (
+	// ModeAuto (the default) runs first-fault sampling wherever the
+	// golden-trace fast paths apply (fixed benchmark inputs, watchdog at
+	// or above the golden cycle count), falling back to full execution
+	// elsewhere. Results are statistically equivalent to — but not
+	// bit-identical with — the scan and full paths.
+	ModeAuto Mode = iota
+	// ModeScan forces the golden-trace replay scan, the exact reference
+	// for first-fault sampling: bit-identical to ModeFull for a fixed
+	// seed.
+	ModeScan
+	// ModeFull forces full ISS execution for every trial.
+	ModeFull
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeScan:
+		return "scan"
+	case ModeFull:
+		return "full"
+	}
+	return "first-fault"
+}
+
 // Spec describes one experiment configuration (everything but the
 // frequency, which the sweep varies).
 type Spec struct {
@@ -84,10 +129,13 @@ type Spec struct {
 	// Seed drives all trial randomness (noise, injection, per-trial
 	// operands); every (seed, trial index) pair is reproducible.
 	Seed int64
-	// DisableReplay forces full ISS execution for every trial instead of
-	// the golden-trace replay fast path. Results are bit-identical either
-	// way (the differential test grid pins this); the switch exists as
-	// the reference path and for benchmarks. See RunFull.
+	// Mode selects the trial execution path: first-fault sampling where
+	// available (ModeAuto, the default), the exact replay scan
+	// (ModeScan), or full ISS execution (ModeFull). See the package
+	// comment for when each applies.
+	Mode Mode
+	// DisableReplay is the historical switch for the full reference
+	// path; it forces Mode = ModeFull. See RunFull.
 	DisableReplay bool
 	// InputSeed fixes the benchmark's input data.
 	InputSeed int64
@@ -106,6 +154,9 @@ type Spec struct {
 }
 
 func (s Spec) withDefaults() Spec {
+	if s.DisableReplay {
+		s.Mode = ModeFull
+	}
 	if s.Trials <= 0 {
 		s.Trials = 100
 	}
@@ -139,11 +190,12 @@ func (s Spec) withDefaults() Spec {
 // trial allocation.
 func (s Spec) adaptive() bool { return s.TrialsMax > 0 }
 
-// replayableFor reports whether the golden-trace replay fast path can
-// serve the given benchmark under this spec: inputs must be fixed (one
-// shared golden run) and the fast path must not be disabled.
+// replayableFor reports whether the golden-trace fast paths (first-fault
+// sampling and the replay scan) can serve the given benchmark under this
+// spec: inputs must be fixed (one shared golden run) and full execution
+// must not be forced.
 func (s Spec) replayableFor(b *bench.Benchmark) bool {
-	return !s.DisableReplay && !b.PerTrialInputs
+	return s.Mode != ModeFull && !b.PerTrialInputs
 }
 
 // Progress is a snapshot of sweep-engine progress. Trial totals grow
@@ -233,6 +285,10 @@ type pointState struct {
 	cell  Cell
 	ctx   *benchCtx
 	model fi.Model
+	// hazModel/hazard drive the first-fault sampling path; nil when the
+	// cell runs the scan or full path instead.
+	hazModel fi.HazardModel
+	hazard   *fi.Hazard
 	// key is the cell's artifact-store key; completed cells are
 	// checkpointed under it when the engine holds a store.
 	key     string
@@ -385,13 +441,54 @@ func (e *engine) complete(pi, ti int, r trialResult) {
 	}
 }
 
-// runTrial executes one trial on a worker-private memory, through the
-// replay fast path when the cell's benchmark holds a golden trace.
+// runTrial executes one trial on a worker-private memory: first-fault
+// sampling when the cell holds a hazard table, the replay scan when it
+// holds only a golden trace, full execution otherwise.
 func (e *engine) runTrial(m *mem.Memory, pi, ti int) trialResult {
-	if e.pts[pi].ctx.golden != nil {
+	p := e.pts[pi]
+	if p.hazard != nil {
+		return e.runTrialFirstFault(m, pi, ti)
+	}
+	if p.ctx.golden != nil {
 		return e.runTrialReplay(m, pi, ti)
 	}
 	return e.runTrialFull(m, pi, ti)
+}
+
+// runTrialFirstFault decides the trial in O(log n): one uniform draw
+// inverted through the cell's prefix log-survival array yields the
+// first-fault query index (or "fault-free", in which case the trial is
+// the golden run), and the model draws the corrupted capture at that
+// query conditioned on injection. Only then does the trial fork into
+// full execution from the nearest recorded checkpoint, exactly like the
+// replay scan. The trial RNG is still derived from (Seed, trial index),
+// so results are deterministic and schedule-independent; they are
+// statistically equivalent to — not bit-identical with — the scan path,
+// whose RNG advances through every fault-free query.
+func (e *engine) runTrialFirstFault(m *mem.Memory, pi, ti int) trialResult {
+	s := e.s
+	p := e.pts[pi]
+	ctx := p.ctx
+	var r trialResult
+	rng := stats.NewRand(stats.SubSeed(s.Seed, ti))
+	fork, ok := fi.FirstFault(p.hazModel, p.hazard, rng, ctx.golden.Queries)
+	if !ok {
+		// Fault-free: the trial is the golden run.
+		r.finished, r.correct = true, true
+		r.kernelCycles = ctx.golden.Trace.KernelCycles
+		r.metric = ctx.metric0
+		return r
+	}
+	cp := ctx.golden.Trace.CheckpointBefore(fork.Query)
+	m.Reset()
+	c := cpu.New(m, fi.NewForkInjector(p.hazModel.NewTrial(rng), cp.EventIndex, fork), s.System.Cfg.CPU)
+	if err := c.Restore(ctx.golden.Prog, ctx.golden.Trace, cp); err != nil {
+		r.err = err
+		return r
+	}
+	c.SetWatchdog(ctx.watchdog)
+	st := c.Run()
+	return e.finishTrial(ctx, c, m, ctx.golden.Prog, ctx.golden.Want, st)
 }
 
 // runTrialReplay decides the trial against the golden trace: the model's
@@ -590,12 +687,20 @@ func Run(spec Spec, fMHz float64) (Point, error) {
 	return pts[0], nil
 }
 
+// RunScan evaluates one data point on the golden-trace replay scan —
+// the exact fast path that drives the injector over every recorded ALU
+// query. It is bit-identical to RunFull for a fixed seed (the
+// differential test grid pins this across benchmarks, models,
+// frequencies and fault semantics) and is the statistical reference for
+// the default first-fault sampling path.
+func RunScan(spec Spec, fMHz float64) (Point, error) {
+	spec.Mode = ModeScan
+	return Run(spec, fMHz)
+}
+
 // RunFull evaluates one data point forcing full ISS execution for every
-// trial — the reference implementation of the golden-trace replay fast
-// path, kept the way SweepSerial is kept for the sweep engine: Run must
-// match it bit for bit for a fixed seed (the differential test grid in
-// this package pins the guarantee across benchmarks, models, frequencies
-// and fault semantics).
+// trial — the reference implementation both fast paths are measured
+// against, kept the way SweepSerial is kept for the sweep engine.
 func RunFull(spec Spec, fMHz float64) (Point, error) {
 	spec.DisableReplay = true
 	return Run(spec, fMHz)

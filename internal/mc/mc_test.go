@@ -156,11 +156,15 @@ func TestSweepAndPoFF(t *testing.T) {
 // TestSweepMatchesSerial is the determinism guarantee of the sweep
 // engine: cross-point scheduling and model caching must not change a
 // single bit of any Point relative to the point-serial, uncached path.
+// The scan mode pins exactness (the serial reference executes every
+// trial in full; first-fault sampling is only statistically
+// equivalent).
 func TestSweepMatchesSerial(t *testing.T) {
 	spec := Spec{
 		System: system(),
 		Bench:  bench.Median(),
 		Model:  core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010},
+		Mode:   ModeScan,
 		Trials: 8,
 		Seed:   7,
 	}

@@ -9,11 +9,12 @@ import (
 )
 
 // TestReplayMatchesFullGrid is the differential guarantee of the
-// golden-trace replay fast path: across every application benchmark,
-// every fault model, three frequencies spanning the clean / transition /
-// failing regions, and both fault semantics, the replayed points must be
-// bit-identical to the full-execution reference (RunFull) for a fixed
-// seed.
+// golden-trace replay scan (ModeScan — first-fault sampling, the
+// default, is only statistically equivalent and has its own agreement
+// tests): across every application benchmark, every fault model, three
+// frequencies spanning the clean / transition / failing regions, and
+// both fault semantics, the scanned points must be bit-identical to the
+// full-execution reference (RunFull) for a fixed seed.
 func TestReplayMatchesFullGrid(t *testing.T) {
 	sta := system().STALimitMHz(0.7)
 	freqs := []float64{700, 800, 870}
@@ -39,6 +40,7 @@ func TestReplayMatchesFullGrid(t *testing.T) {
 					System: system(),
 					Bench:  b,
 					Model:  ms,
+					Mode:   ModeScan,
 					Trials: 4,
 					Seed:   11,
 				}
@@ -88,7 +90,7 @@ func TestReplayMatchesFullMicro(t *testing.T) {
 	}
 }
 
-// TestReplayAdaptiveMatchesFull checks the fast path under adaptive
+// TestReplayAdaptiveMatchesFull checks the replay scan under adaptive
 // trial allocation: batch growth decisions see the same per-trial
 // results, so the adaptive trajectory and the final point must match the
 // full path exactly.
@@ -97,6 +99,7 @@ func TestReplayAdaptiveMatchesFull(t *testing.T) {
 		System:    system(),
 		Bench:     bench.Median(),
 		Model:     core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010},
+		Mode:      ModeScan,
 		TrialsMin: 6,
 		TrialsMax: 48,
 		Seed:      3,

@@ -171,6 +171,81 @@ func ClippedNormal(rng *rand.Rand, mean, sigma, clip float64) float64 {
 	return mean + x
 }
 
+// NormalCDF returns Phi(x), the standard normal cumulative distribution
+// function. It is exact to full float64 precision in both tails (erfc
+// avoids the cancellation that 0.5*(1+erf) suffers for x << 0).
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// normalPDF is the standard normal density.
+func normalPDF(x float64) float64 {
+	return math.Exp(-0.5*x*x) / math.Sqrt(2*math.Pi)
+}
+
+// NormalQuantile returns Phi^-1(p), the standard normal quantile
+// (probit) function: NormalCDF(NormalQuantile(p)) == p to near machine
+// precision. It is the inversion step of first-fault sampling, which
+// draws supply-noise values conditioned on a timing violation instead of
+// simulating cycle-by-cycle. p outside (0, 1) returns -Inf / +Inf.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Acklam's rational approximation (|eps| < 1.15e-9)...
+	const (
+		a1 = -3.969683028665376e+01
+		a2 = 2.209460984245205e+02
+		a3 = -2.759285104469687e+02
+		a4 = 1.383577518672690e+02
+		a5 = -3.066479806614716e+01
+		a6 = 2.506628277459239e+00
+		b1 = -5.447609879822406e+01
+		b2 = 1.615858368580409e+02
+		b3 = -1.556989798598866e+02
+		b4 = 6.680131188771972e+01
+		b5 = -1.328068155288572e+01
+		c1 = -7.784894002430293e-03
+		c2 = -3.223964580411365e-01
+		c3 = -2.400758277161838e+00
+		c4 = -2.549732539343734e+00
+		c5 = 4.374664141464968e+00
+		c6 = 2.938163982698783e+00
+		d1 = 7.784695709041462e-03
+		d2 = 3.224671290700398e-01
+		d3 = 2.445134137142996e+00
+		d4 = 3.754408661907416e+00
+		plow = 0.02425
+	)
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		x = (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	}
+	// ...polished by two Halley steps against the exact CDF, which takes
+	// the error to a few ulps across the whole domain.
+	for i := 0; i < 2; i++ {
+		e := NormalCDF(x) - p
+		u := e / normalPDF(x)
+		x -= u / (1 + x*u/2)
+	}
+	return x
+}
+
 // WilsonZ95 is the normal quantile for a two-sided 95% confidence
 // interval, the default for adaptive Monte-Carlo trial allocation.
 const WilsonZ95 = 1.959963984540054

@@ -224,3 +224,50 @@ func TestWilsonNarrowsWithN(t *testing.T) {
 		prevLo, prevHi = lo, hi
 	}
 }
+
+func TestNormalCDFAnchors(t *testing.T) {
+	anchors := []struct{ x, p float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{-2, 0.022750131948179195},
+		{2, 0.9772498680518208},
+	}
+	for _, a := range anchors {
+		if got := NormalCDF(a.x); math.Abs(got-a.p) > 1e-15 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", a.x, got, a.p)
+		}
+	}
+	if !(NormalCDF(-37) > 0) || NormalCDF(-37) > 1e-290 {
+		t.Errorf("deep lower tail lost precision: %v", NormalCDF(-37))
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for p := 1e-12; p < 1; p += 0.001 {
+		x := NormalQuantile(p)
+		if got := NormalCDF(x); math.Abs(got-p) > 1e-13 {
+			t.Fatalf("NormalCDF(NormalQuantile(%v)) = %v (off by %v)", p, got, got-p)
+		}
+	}
+	// Deep tails stay finite and invert.
+	for _, p := range []float64{1e-300, 1e-30, 1e-15, 1 - 1e-15} {
+		x := NormalQuantile(p)
+		if math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Errorf("NormalQuantile(%v) = %v", p, x)
+		}
+		if got := NormalCDF(x); math.Abs(got-p) > 1e-13*math.Max(1, p/math.SmallestNonzeroFloat64) && math.Abs(got-p)/p > 1e-9 {
+			t.Errorf("tail round trip at %v: %v", p, got)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Errorf("edge quantiles not infinite")
+	}
+	if NormalQuantile(0.5) != 0 {
+		t.Errorf("median quantile = %v, want 0", NormalQuantile(0.5))
+	}
+	if math.Abs(NormalQuantile(0.975)-WilsonZ95) > 1e-12 {
+		t.Errorf("NormalQuantile(0.975) = %v, want %v", NormalQuantile(0.975), WilsonZ95)
+	}
+}
