@@ -1,0 +1,317 @@
+// Command fisimctl is the thin client for the fisimd batch-simulation
+// daemon: it submits experiment-grid jobs, polls or streams their
+// progress, and fetches results, speaking the plain HTTP/JSON API of
+// docs/API.md — anything it does can be reproduced with curl.
+//
+//	fisimctl -addr http://localhost:8023 submit -bench median -model C \
+//	    -lo 690 -hi 730 -step 20 -trials 8 -wait -format csv
+//	fisimctl status j000001
+//	fisimctl result j000001 -format csv -o out.csv
+//	fisimctl watch j000001
+//	fisimctl cancel j000001
+//	fisimctl stats
+//
+// submit prints the job ID (and, with -wait, blocks until the job is
+// terminal and prints the result). Exit status is non-zero on failed or
+// cancelled jobs.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fisimctl: ")
+	addr := flag.String("addr", envOr("FISIMD_ADDR", "http://localhost:8023"), "fisimd base URL (or $FISIMD_ADDR)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fisimctl [-addr URL] {submit|status|result|watch|cancel|list|stats} ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*addr, "/")}
+	var err error
+	switch args[0] {
+	case "submit":
+		err = c.submit(args[1:])
+	case "status":
+		err = c.status(args[1:])
+	case "result":
+		err = c.result(args[1:])
+	case "watch":
+		err = c.watch(args[1:])
+	case "cancel":
+		err = c.cancel(args[1:])
+	case "list":
+		err = c.getJSON("/v1/jobs", os.Stdout)
+	case "stats":
+		err = c.getJSON("/v1/stats", os.Stdout)
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func envOr(k, def string) string {
+	if v := os.Getenv(k); v != "" {
+		return v
+	}
+	return def
+}
+
+type client struct{ base string }
+
+// apiError decodes the server's {"error": ...} body for non-2xx
+// responses.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+func (c *client) getJSON(path string, w io.Writer) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+func (c *client) submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	benches := fs.String("bench", "median", "benchmark name(s), comma-separated")
+	models := fs.String("model", "C", "fault model(s): none, A, B, B+, C (comma-separated)")
+	vdds := fs.String("vdd", "0.7", "supply voltage(s) in V (comma-separated)")
+	sigmas := fs.String("sigma", "0", "supply noise sigma(s) in V (comma-separated)")
+	freqs := fs.String("freq", "", "explicit frequency list in MHz (comma-separated; overrides -lo/-hi/-step)")
+	lo := fs.Float64("lo", 650, "sweep start in MHz")
+	hi := fs.Float64("hi", 1100, "sweep end in MHz")
+	step := fs.Float64("step", 25, "sweep step in MHz")
+	trials := fs.Int("trials", 100, "Monte-Carlo trials per point")
+	trialsMin := fs.Int("trials-min", 0, "adaptive mode: first batch size (with -trials-max)")
+	trialsMax := fs.Int("trials-max", 0, "adaptive mode: trial budget per point")
+	seed := fs.Int64("seed", 1, "random seed")
+	mode := fs.String("mode", "auto", "trial path: auto, scan or full")
+	wait := fs.Bool("wait", false, "block until the job is terminal, then print the result")
+	format := fs.String("format", "json", "result format with -wait: json or csv")
+	outFile := fs.String("o", "", "write -wait result to this file (default stdout)")
+	fs.Parse(args)
+
+	spec := map[string]any{
+		"benches": splitList(*benches),
+		"models":  splitList(*models),
+		"vdds":    floats("vdd", *vdds),
+		"sigmas":  floats("sigma", *sigmas),
+		"trials":  *trials, "trials_min": *trialsMin, "trials_max": *trialsMax,
+		"seed": *seed, "mode": *mode,
+	}
+	if *freqs != "" {
+		spec["freqs"] = floats("freq", *freqs)
+	} else {
+		spec["freq_lo"], spec["freq_hi"], spec["freq_step"] = *lo, *hi, *step
+	}
+	blob, _ := json.Marshal(spec)
+	resp, err := http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	var sub struct {
+		ID      string `json:"id"`
+		State   string `json:"state"`
+		Deduped bool   `json:"deduped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		resp.Body.Close()
+		return err
+	}
+	resp.Body.Close()
+	fmt.Fprintf(os.Stderr, "job %s state=%s deduped=%v\n", sub.ID, sub.State, sub.Deduped)
+	if !*wait {
+		fmt.Println(sub.ID)
+		return nil
+	}
+	if err := c.awaitTerminal(sub.ID); err != nil {
+		return err
+	}
+	return c.fetchResult(sub.ID, *format, *outFile)
+}
+
+// awaitTerminal long-polls until the job reaches a terminal state,
+// erroring out on failed/cancelled jobs.
+func (c *client) awaitTerminal(id string) error {
+	for {
+		resp, err := http.Get(c.base + "/v1/jobs/" + id + "?wait=30s")
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode/100 != 2 {
+			return apiError(resp)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case "done":
+			return nil
+		case "failed":
+			return fmt.Errorf("job %s failed: %s", id, st.Error)
+		case "canceled":
+			return fmt.Errorf("job %s canceled", id)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func (c *client) fetchResult(id, format, outFile string) (err error) {
+	resp, err := http.Get(c.base + "/v1/jobs/" + id + "/result?format=" + format)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	out := io.Writer(os.Stdout)
+	if outFile != "" {
+		var f *os.File
+		if f, err = os.Create(outFile); err != nil {
+			return err
+		}
+		// Propagate the close error through the named return: a failed
+		// flush must not pass for a successful export.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		out = f
+	}
+	_, err = io.Copy(out, resp.Body)
+	return err
+}
+
+func (c *client) status(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: fisimctl status <job-id>")
+	}
+	return c.getJSON("/v1/jobs/"+args[0], os.Stdout)
+}
+
+func (c *client) result(args []string) error {
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	format := fs.String("format", "json", "json or csv")
+	outFile := fs.String("o", "", "output file (default stdout)")
+	if len(args) < 1 {
+		return fmt.Errorf("usage: fisimctl result <job-id> [-format json|csv] [-o file]")
+	}
+	fs.Parse(args[1:])
+	return c.fetchResult(args[0], *format, *outFile)
+}
+
+// watch prints the SSE progress stream line by line until the terminal
+// "done" event.
+func (c *client) watch(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: fisimctl watch <job-id>")
+	}
+	resp, err := http.Get(c.base + "/v1/jobs/" + args[0] + "/events")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			fmt.Printf("%s %s\n", event, strings.TrimPrefix(line, "data: "))
+		}
+	}
+	return sc.Err()
+}
+
+func (c *client) cancel(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: fisimctl cancel <job-id>")
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+args[0], nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func floats(name, s string) []float64 {
+	var out []float64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			log.Fatalf("-%s: %v", name, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+// Command fisimd is the batch-simulation daemon: a long-running HTTP
+// service that accepts experiment-grid jobs (the same grids cmd/sweep
+// runs one-shot), executes them asynchronously on the shared mc worker
+// pool, deduplicates identical requests by content fingerprint, and
+// streams progress over SSE. One core.System serves every job, so
+// model, golden-trace and hazard caches — and, with -cache-dir, the
+// persistent artifact store — amortize across the daemon's lifetime:
+// the first job of a benchmark pays characterization, every later job
+// warm-starts, and a resubmitted completed grid answers from cached
+// cells in milliseconds.
+//
+//	fisimd -addr :8023 -cache-dir /var/cache/fisim
+//	fisimd -addr :8023 -parallel 2 -queue 128 -dta 4096
+//
+// See docs/API.md for the HTTP API and cmd/fisimctl for the client.
+// SIGINT/SIGTERM drain gracefully: running and queued jobs finish
+// (bounded by -drain-timeout), then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("fisimd: ")
+	addr := flag.String("addr", ":8023", "listen address")
+	cacheDir := flag.String("cache-dir", "", "artifact cache directory (characterizations, traces, hazards, grid cells)")
+	dtaCycles := flag.Int("dta", 8192, "DTA characterization cycles")
+	workers := flag.Int("workers", 0, "mc worker goroutines per job (0 = NumCPU)")
+	parallel := flag.Int("parallel", 1, "jobs executed concurrently")
+	queueCap := flag.Int("queue", 64, "bounded job queue capacity")
+	keepJobs := flag.Int("keep", 256, "terminal jobs retained in memory")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful drain bound on shutdown")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.DTA.Cycles = *dtaCycles
+	sys := core.New(cfg)
+
+	var store *artifact.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = artifact.Open(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+		sys.AttachStore(store)
+		log.Printf("artifact store: %s", store.Dir())
+	}
+
+	m := server.NewManager(server.Options{
+		System:   sys,
+		Store:    store,
+		QueueCap: *queueCap,
+		Parallel: *parallel,
+		Workers:  *workers,
+		KeepJobs: *keepJobs,
+	})
+	srv := &http.Server{Addr: *addr, Handler: server.Handler(m)}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("%v: draining (bound %s)", s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := m.Shutdown(ctx); err != nil {
+			log.Printf("drain: %v (remaining jobs cancelled)", err)
+		}
+		log.Printf("cache: %s", sys.CacheSummary())
+		_ = srv.Shutdown(context.Background())
+	}()
+
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

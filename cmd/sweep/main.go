@@ -81,16 +81,9 @@ func main() {
 	if *trialsMin > 0 && *trialsMax <= 0 {
 		log.Fatal("-trials-min has no effect without -trials-max (adaptive mode)")
 	}
-	var trialMode mc.Mode
-	switch *mode {
-	case "auto", "first-fault":
-		trialMode = mc.ModeAuto
-	case "scan", "replay":
-		trialMode = mc.ModeScan
-	case "full":
-		trialMode = mc.ModeFull
-	default:
-		log.Fatalf("-mode %q: want auto, scan or full", *mode)
+	trialMode, err := mc.ParseMode(*mode)
+	if err != nil {
+		log.Fatalf("-mode: %v", err)
 	}
 	if *resume && *cacheDir == "" {
 		log.Fatal("-resume requires -cache-dir")
@@ -120,10 +113,7 @@ func main() {
 	if !*quiet {
 		rep = progress.New(os.Stderr, "sweep")
 	}
-	var freqs []float64
-	for f := *lo; f <= *hi; f += *step {
-		freqs = append(freqs, f)
-	}
+	freqs := mc.FreqRange(*lo, *hi, *step)
 	grid := mc.Grid{
 		Spec: mc.Spec{
 			System:    sys,

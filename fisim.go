@@ -16,6 +16,7 @@ package repro
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/artifact"
 	"repro/internal/bench"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/fi"
 	"repro/internal/mc"
 	"repro/internal/report"
+	"repro/internal/server"
 )
 
 // Re-exported core types; see the internal packages for full
@@ -144,6 +146,35 @@ func WriteReport(w io.Writer, format string, d *Report) error { return report.Wr
 
 // PoFF locates the point of first failure in a sweep.
 func PoFF(points []Point) (float64, bool) { return mc.PoFF(points) }
+
+// The batch-simulation service layer (the fisimd daemon as a library):
+// a JobManager runs grid jobs asynchronously with content-fingerprint
+// dedup on one shared System, and ServerHandler exposes it over the
+// HTTP/JSON API documented in docs/API.md.
+type (
+	// ServerOptions configures a JobManager (system, artifact store,
+	// queue bound, job parallelism, retention).
+	ServerOptions = server.Options
+	// JobManager owns the job table, dedup index and bounded queue.
+	JobManager = server.Manager
+	// JobSpec is the wire format of one batch-simulation request.
+	JobSpec = server.JobSpec
+	// JobStatus is a job's public status snapshot.
+	JobStatus = server.Status
+	// JobState is a job lifecycle state (queued/running/done/failed/
+	// canceled).
+	JobState = server.State
+	// JobProgress is one streamed job progress snapshot.
+	JobProgress = server.Progress
+)
+
+// NewJobManager starts a job manager and its runner goroutines; drain
+// it with JobManager.Shutdown.
+func NewJobManager(o ServerOptions) *JobManager { return server.NewManager(o) }
+
+// ServerHandler exposes a JobManager over HTTP (see docs/API.md for the
+// API: submit/status/result/cancel, SSE progress, stats).
+func ServerHandler(m *JobManager) http.Handler { return server.Handler(m) }
 
 // ExperimentOptions configures the table/figure runners.
 type ExperimentOptions = experiments.Options

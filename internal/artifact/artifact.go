@@ -14,6 +14,11 @@
 // Version invalidates every cache atomically. Writes go through a
 // temp-file rename, so an interrupted run never leaves a torn blob
 // behind.
+//
+// artifact is a leaf of the dependency graph (stdlib only), depended on
+// by dta, core, mc and server; it is what turns every warm start in the
+// stack — repeated CLI runs, resumed grids, deduplicated daemon jobs —
+// into file reads.
 package artifact
 
 import (

@@ -24,6 +24,10 @@
 // lo(sym) extract the upper and lower halves of a symbol address for
 // l.movhi / l.ori address formation. Branch and jump targets are labels
 // (resolved to pc-relative word offsets) or explicit numeric offsets.
+//
+// In the dependency graph, asm sits directly above internal/isa (the
+// instruction encodings) and below the execution layers: bench
+// assembles its kernels with it, and cpu loads the resulting Programs.
 package asm
 
 import (

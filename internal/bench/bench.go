@@ -10,6 +10,10 @@
 // operand Profile that selects matching DTA characterizations for its
 // data widths (Sec. 4.1/4.3 of the paper evaluate 8/16/32-bit variants
 // whose fault statistics differ through exactly this conditioning).
+//
+// In the dependency graph, bench builds on asm/isa/mem and the dta
+// operand profiles; the mc grid engine, the experiments runners and the
+// server's job specs consume benchmarks by name through it.
 package bench
 
 import (

@@ -23,6 +23,10 @@
 // carry chains, so l.add gains more headroom; 16-bit operands confine
 // carry chains to the low half and gain the most — the orderings of the
 // paper's Figs. 2 and 4.
+//
+// In the dependency graph, circuit builds on internal/gates (the
+// netlist substrate) and internal/timing (voltage-delay scaling), and
+// feeds the dta characterizer and core's STA calibration above it.
 package circuit
 
 import (

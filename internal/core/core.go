@@ -3,6 +3,14 @@
 // Vdd-delay and noise models, the power model, and a factory for the
 // fault-injection models A/B/B+/C bound to an operating point
 // (frequency, supply voltage, noise sigma).
+//
+// core is the stack's assembly point in the dependency graph:
+// everything below it (circuit, gates, dta, timing, power, fi, cpu,
+// mem) is bound together here, and everything above it (mc,
+// experiments, server, the cmd tools) reaches the stack through a
+// System — including the model, golden-trace and hazard-table caches
+// that make repeated experiments cheap, and their persistence through
+// internal/artifact.
 package core
 
 import (

@@ -34,6 +34,12 @@
 // watchdog. Following the paper, the simulator includes basic infinite
 // loop detection: an unconditional jump-to-self aborts immediately, and a
 // configurable cycle budget catches everything else.
+//
+// In the dependency graph, cpu sits on isa/asm/mem and accepts fault
+// injectors structurally (the fi models implement its Injector
+// interface without either package importing the other); the mc engine
+// drives one CPU per trial, and the trace recording/restore machinery
+// here is what the replay and first-fault fast paths fork from.
 package cpu
 
 import (

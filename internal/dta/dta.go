@@ -11,6 +11,10 @@
 // are 5 bits, and data-width-constrained workloads (the paper's 8/16-bit
 // kernels in Figs. 4 and 6) are characterized with matching operand
 // ranges — this is where the paper's data-width effects come from.
+//
+// In the dependency graph, dta sits on circuit/gates/timing below and
+// serves the model-C construction in fi/core above; characterizations
+// persist through internal/artifact when a store is attached.
 package dta
 
 import (

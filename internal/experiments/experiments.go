@@ -13,6 +13,11 @@
 // shared grid engine. With Options.Store attached, completed cells,
 // characterizations and golden traces persist across processes, so
 // regenerating a figure over a warm cache costs file reads.
+//
+// experiments is the topmost library layer of the dependency graph: it
+// declares grids for internal/mc, renders its own text tables and CSV
+// series, and is driven by cmd/paperrepro and the root facade's
+// ReproduceAll.
 package experiments
 
 import (
@@ -93,11 +98,7 @@ func (o Options) freqs(lo, hi, step float64) []float64 {
 	if o.Scale < 1 {
 		step *= math.Sqrt(1 / o.Scale)
 	}
-	var out []float64
-	for f := lo; f <= hi+1e-9; f += step {
-		out = append(out, f)
-	}
-	return out
+	return mc.FreqRange(lo, hi, step)
 }
 
 func (o Options) spec(b *bench.Benchmark, model core.ModelSpec, fullTrials int) mc.Spec {

@@ -12,6 +12,11 @@
 // trial-private RNG, producing an injector compatible with the
 // cpu.Injector interface (matched structurally, so the packages stay
 // decoupled).
+//
+// In the dependency graph, fi depends on circuit/dta/timing/stats;
+// core instantiates and caches its models, cpu calls the injectors
+// cycle by cycle, and mc drives the trace-scan (replay.go) and
+// first-fault sampling (hazard.go) fast paths built from them.
 package fi
 
 import (

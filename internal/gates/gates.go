@@ -12,6 +12,10 @@
 // output's arrival time: the time of its final transition within the
 // cycle, which is exactly what the paper's dynamic timing analysis
 // extracts from the post place & route netlist.
+//
+// gates is a leaf of the dependency graph (stdlib only);
+// internal/circuit generates its netlists from these cells and
+// internal/dta simulates them.
 package gates
 
 import (

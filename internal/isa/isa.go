@@ -9,6 +9,9 @@
 // (internal/cpu) only ever talk to each other through this package, and the
 // Encode/Decode round-trip is exhaustively tested, so internal consistency
 // is what matters.
+//
+// isa is a leaf of the dependency graph: asm, cpu and bench all build
+// on its encodings, and nothing here imports anything but stdlib.
 package isa
 
 import "fmt"

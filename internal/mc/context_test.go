@@ -1,0 +1,108 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// TestRunContextCancelAborts pins the cancellation contract: a grid run
+// under an already-expiring context stops scheduling trials and returns
+// the context's error instead of a result set.
+func TestRunContextCancelAborts(t *testing.T) {
+	spec := Spec{
+		System: system(),
+		Bench:  bench.Median(),
+		Model:  core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010},
+		Trials: 400,
+		Seed:   1,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	grid := Grid{Spec: spec, Axes: Axes{Freqs: []float64{700, 750, 800}}}
+
+	// Cancel from the first progress callback: the engine must observe it
+	// and abort long before 3x400 trials complete.
+	fired := false
+	grid.Spec.Progress = func(Progress) {
+		if !fired {
+			fired = true
+			cancel()
+		}
+	}
+	cells, err := grid.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled grid: got cells=%d err=%v, want context.Canceled", len(cells), err)
+	}
+
+	// An adaptive grid cancelled mid-run must report the cancellation,
+	// never pass truncated (under-sampled) points off as a completed
+	// result: points whose Wilson decision would extend stay open, so
+	// the engine can tell a truncated grid from a finished one.
+	aspec := spec
+	aspec.Trials = 0
+	aspec.TrialsMin, aspec.TrialsMax = 16, 400
+	// One worker: after the cancel lands, the rest of the first batch is
+	// provably unscheduled, so the grid is truncated no matter how the
+	// Wilson decisions would have gone.
+	aspec.Workers = 1
+	actx, acancel := context.WithCancel(context.Background())
+	afired := false
+	aspec.Progress = func(Progress) {
+		if !afired {
+			afired = true
+			acancel()
+		}
+	}
+	if _, err := (Grid{Spec: aspec, Axes: Axes{Freqs: []float64{700, 750, 800}}}).RunContext(actx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled adaptive grid: err=%v, want context.Canceled", err)
+	}
+
+	// A pre-cancelled context aborts before any cell is resolved.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := (Grid{Spec: spec, Axes: Axes{Freqs: []float64{700}}}).RunContext(ctx2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled grid: err=%v, want context.Canceled", err)
+	}
+}
+
+func TestFreqRange(t *testing.T) {
+	got := FreqRange(700, 900, 50)
+	want := []float64{700, 750, 800, 850, 900}
+	if len(got) != len(want) {
+		t.Fatalf("FreqRange(700,900,50) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FreqRange(700,900,50) = %v", got)
+		}
+	}
+	// Float accumulation drift must not drop the endpoint.
+	if pts := FreqRange(650, 651, 0.1); len(pts) != 11 || pts[len(pts)-1] < 650.9999 {
+		t.Errorf("FreqRange(650,651,0.1) = %d points, last %v", len(pts), pts[len(pts)-1])
+	}
+	// A step below float resolution at lo must terminate, not spin.
+	if pts := FreqRange(1e20, 1e20, 1); len(pts) != 1 {
+		t.Errorf("sub-ulp step: %d points", len(pts))
+	}
+	if FreqRange(700, 800, 0) != nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{
+		"": ModeAuto, "auto": ModeAuto, "first-fault": ModeAuto,
+		"scan": ModeScan, "replay": ModeScan, "full": ModeFull,
+	} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode(bogus) accepted")
+	}
+}

@@ -6,6 +6,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/artifact"
@@ -52,6 +53,29 @@ func (a Axes) withDefaults(s Spec) Axes {
 		a.Freqs = []float64{s.Model.FreqMHz}
 	}
 	return a
+}
+
+// FreqRange expands an inclusive [lo, hi] frequency range with the
+// given step into the explicit list, absorbing float accumulation
+// drift at the endpoint (repeated addition of a non-dyadic step can
+// overshoot hi by ~1 ulp and silently drop the final frequency). It is
+// the one expansion shared by cmd/sweep, the experiments runners and
+// the server's job-spec canonicalization, so a range and its explicit
+// expansion always mean the same grid. A non-positive step yields nil.
+func FreqRange(lo, hi, step float64) []float64 {
+	if step <= 0 {
+		return nil
+	}
+	var out []float64
+	for f := lo; f <= hi+1e-9; f += step {
+		out = append(out, f)
+		if f+step == f {
+			// step is below float resolution at this magnitude: f can
+			// never advance, so stop rather than loop forever.
+			break
+		}
+	}
+	return out
 }
 
 // Cell is one fully resolved grid coordinate: a benchmark and a
@@ -171,6 +195,17 @@ func loadCell(st *artifact.Store, key string) (Point, bool) {
 // cell before it, together with that cell's error; a trial-level error
 // aborts the whole grid.
 func (g Grid) Run() ([]CellResult, error) {
+	return g.RunContext(context.Background())
+}
+
+// RunContext evaluates the grid under a context. Cancellation is
+// honoured at cell-resolution boundaries (before each model build /
+// golden run, which can be expensive on a cold cache) and at trial
+// granularity inside the engine: no new trials are scheduled, in-flight
+// trials finish, and the run returns ctx's error. Cells that completed
+// before the cancellation are already checkpointed when a store is
+// attached, so a resubmitted grid resumes past them.
+func (g Grid) RunContext(ctx context.Context) ([]CellResult, error) {
 	s := g.Spec.withDefaults()
 	cells := g.Cells()
 	results := make([]CellResult, 0, len(cells))
@@ -190,6 +225,9 @@ func (g Grid) Run() ([]CellResult, error) {
 	digests := map[string]string{}
 	var modelErr error
 	for _, c := range cells {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var key string
 		if g.Store != nil {
 			digest, ok := digests[c.Bench.Name]
@@ -246,7 +284,7 @@ func (g Grid) Run() ([]CellResult, error) {
 	}
 
 	if len(live) > 0 {
-		pts, err := newEngine(s, live, g.Store).run()
+		pts, err := newEngine(s, live, g.Store).run(ctx)
 		if err != nil {
 			return nil, err
 		}

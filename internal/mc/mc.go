@@ -57,9 +57,18 @@
 // budget concentrates on the decision boundary around the point of
 // first failure. Batch boundaries are fixed in trial-index order, so
 // adaptive results are also schedule-independent.
+//
+// In the dependency graph, mc sits on core/bench/cpu/fi/stats and is
+// the execution engine for everything above it: the experiments
+// runners, the cmd tools, and the fisimd service layer
+// (internal/server), which submits grids with a cancellation context
+// (Grid.RunContext) and observes them through Spec.Progress.
 package mc
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -102,6 +111,22 @@ func (m Mode) String() string {
 		return "full"
 	}
 	return "first-fault"
+}
+
+// ParseMode maps the user-facing spelling of a trial path (CLI -mode
+// flags, server job specs) to its Mode. The empty string selects
+// ModeAuto, and the historical aliases ("first-fault", "replay") keep
+// working.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "auto", "first-fault":
+		return ModeAuto, nil
+	case "scan", "replay":
+		return ModeScan, nil
+	case "full":
+		return ModeFull, nil
+	}
+	return ModeAuto, fmt.Errorf("mc: unknown trial mode %q (want auto, scan or full)", s)
 }
 
 // Spec describes one experiment configuration (everything but the
@@ -291,8 +316,8 @@ type pointState struct {
 	hazard   *fi.Hazard
 	// key is the cell's artifact-store key; completed cells are
 	// checkpointed under it when the engine holds a store.
-	key     string
-	results []trialResult
+	key       string
+	results   []trialResult
 	next      int  // next trial index to hand out
 	completed int  // trials finished
 	target    int  // current decision horizon (batch end)
@@ -401,11 +426,16 @@ func (e *engine) complete(pi, ti int, r trialResult) {
 	}
 	closed := false
 	if !p.done && p.completed == p.target {
-		if e.err != nil || e.decide(p) {
+		// An aborted grid never closes a point early: a point decide
+		// would extend stays open (and unscheduled, since take() stops on
+		// e.err), which is what lets run() distinguish a cancellation
+		// that truncated the grid from one that landed after every cell
+		// had already closed.
+		if e.decide(p) {
 			p.done = true
 			closed = e.err == nil
 			e.donePoints++
-		} else {
+		} else if e.err == nil {
 			grow := e.s.TrialsMin
 			if p.target+grow > len(p.results) {
 				grow = len(p.results) - p.target
@@ -587,7 +617,29 @@ func (e *engine) finishTrial(ctx *benchCtx, c *cpu.CPU, m *mem.Memory, prog *asm
 }
 
 // run drives the worker pool to completion and aggregates every point.
-func (e *engine) run() ([]Point, error) {
+// A cancelled ctx aborts the grid at trial granularity: no new (cell,
+// trial) items are handed out, in-flight trials finish, and the run
+// returns ctx's error — unless every cell had already closed when the
+// cancellation landed, in which case the complete grid is returned.
+func (e *engine) run(ctx context.Context) ([]Point, error) {
+	var stopWatcher, watcherDone chan struct{}
+	if done := ctx.Done(); done != nil {
+		stopWatcher = make(chan struct{})
+		watcherDone = make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-done:
+				e.mu.Lock()
+				if e.err == nil {
+					e.err = ctx.Err()
+				}
+				e.cond.Broadcast()
+				e.mu.Unlock()
+			case <-stopWatcher:
+			}
+		}()
+	}
 	// Cap the pool by the largest amount of work the grid can ever
 	// hold (adaptive points may grow past the initial totalTrials), not
 	// by the initial batch sizes.
@@ -615,8 +667,30 @@ func (e *engine) run() ([]Point, error) {
 		}()
 	}
 	wg.Wait()
-	if e.err != nil {
-		return nil, e.err
+	// Join the context watcher before reading e.err: wg.Wait only
+	// synchronizes the workers, and the watcher writes e.err too.
+	if stopWatcher != nil {
+		close(stopWatcher)
+		<-watcherDone
+	}
+	e.mu.Lock()
+	err := e.err
+	e.mu.Unlock()
+	if err != nil {
+		// A cancellation that landed only after every cell had closed
+		// aborted nothing; the grid is whole and its points are exactly
+		// what an uncancelled run would have produced (decide runs before
+		// the error check in complete, so no cell was closed early).
+		whole := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		for _, p := range e.pts {
+			if !p.done {
+				whole = false
+				break
+			}
+		}
+		if !whole {
+			return nil, err
+		}
 	}
 	pts := make([]Point, 0, len(e.pts))
 	for _, p := range e.pts {

@@ -3,6 +3,10 @@
 // instruction and data regions, alignment checking, and simple access
 // accounting. The paper's core uses single-cycle instruction and data
 // SRAMs, so no wait states are modelled.
+//
+// mem is a leaf of the dependency graph; cpu executes against it,
+// bench extracts kernel outputs from it, and the mc engine keeps one
+// worker-private Memory per goroutine.
 package mem
 
 import "fmt"

@@ -4,6 +4,9 @@
 // 2% and 3% of core power respectively), and translates
 // frequency-over-scaling headroom into equivalent voltage and power
 // savings for the error-vs-power trade-off of Fig. 7.
+//
+// power is a leaf model in the dependency graph, bound into the stack
+// by core and consumed by the Fig. 7 runner in experiments.
 package power
 
 import (

@@ -1,0 +1,97 @@
+package progress
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBroadcasterCoalesces(t *testing.T) {
+	b := NewBroadcaster[int]()
+	ch, cancel := b.Subscribe()
+	defer cancel()
+
+	// Without a consumer, later values replace earlier ones.
+	b.Publish(1)
+	b.Publish(2)
+	b.Publish(3)
+	if got := <-ch; got != 3 {
+		t.Fatalf("coalesced value = %d, want 3", got)
+	}
+
+	// A fresh subscriber is seeded with the latest value.
+	ch2, cancel2 := b.Subscribe()
+	defer cancel2()
+	if got := <-ch2; got != 3 {
+		t.Fatalf("seeded value = %d, want 3", got)
+	}
+}
+
+func TestBroadcasterCloseEndsStreams(t *testing.T) {
+	b := NewBroadcaster[string]()
+	ch, _ := b.Subscribe()
+	b.Publish("terminal")
+	b.Close()
+	b.Publish("after close") // must be dropped
+
+	if got, ok := <-ch; !ok || got != "terminal" {
+		t.Fatalf("pre-close value = %q, %v; want terminal, true", got, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("channel still open after Close")
+	}
+	if last, ok := b.Last(); !ok || last != "terminal" {
+		t.Fatalf("Last() = %q, %v after Close", last, ok)
+	}
+
+	// Subscribing to a closed broadcaster still delivers the terminal
+	// value, then closes — a late observer never misses the final state.
+	ch2, cancel2 := b.Subscribe()
+	cancel2()
+	if got, ok := <-ch2; !ok || got != "terminal" {
+		t.Fatalf("post-close subscription = %q, %v; want terminal, true", got, ok)
+	}
+	if _, ok := <-ch2; ok {
+		t.Fatal("post-close subscription not closed after the terminal value")
+	}
+
+	// A never-seeded closed broadcaster yields a bare closed channel.
+	b2 := NewBroadcaster[string]()
+	b2.Close()
+	ch3, cancel3 := b2.Subscribe()
+	cancel3()
+	if _, ok := <-ch3; ok {
+		t.Fatal("unseeded post-close subscription delivered a value")
+	}
+}
+
+// TestBroadcasterConcurrent drives publishers and subscribers in
+// parallel; the race detector is the assertion.
+func TestBroadcasterConcurrent(t *testing.T) {
+	b := NewBroadcaster[int]()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Publish(base + i)
+			}
+		}(w * 1000)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, cancel := b.Subscribe()
+			defer cancel()
+			for i := 0; i < 50; i++ {
+				select {
+				case <-ch:
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.Close()
+}

@@ -1,9 +1,16 @@
-// Package progress renders single-line progress/ETA reports for the
-// long-running operations of the simulator: Monte-Carlo sweeps, paper
-// reproduction runs and DTA characterization. A Reporter is cheap enough
-// to call on every completed work item — it throttles its own output —
-// and writes carriage-return-updated lines, so it should be pointed at a
-// terminal stream (stderr in the cmd tools), never at result output.
+// Package progress delivers progress from the long-running operations
+// of the simulator — Monte-Carlo sweeps, paper reproduction runs, DTA
+// characterization — to their observers. A Reporter renders a throttled
+// single-line ETA display: it is cheap enough to call on every
+// completed work item and writes carriage-return-updated lines, so it
+// should be pointed at a terminal stream (stderr in the cmd tools),
+// never at result output. A Broadcaster (broadcast.go) fans one
+// progress stream out to any number of dynamic observers with
+// coalescing, never-blocking delivery — the server's SSE job streams
+// attach through it.
+//
+// progress is a leaf of the dependency graph (stdlib only), consumed by
+// the cmd tools and internal/server.
 package progress
 
 import (

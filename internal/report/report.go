@@ -1,8 +1,12 @@
 // Package report renders experiment results machine-readably: one
 // Document of labelled series (each a list of mc.Points with its model
 // coordinate) plus the grid metadata that produced them, encoded as
-// JSON or tidy CSV. cmd/sweep and cmd/paperrepro share it through the
-// root facade.
+// JSON or tidy CSV.
+//
+// In the dependency graph, report sits directly above mc (it folds
+// CellResults into series) and below every result-producing surface:
+// cmd/sweep, cmd/paperrepro, the root facade, and the server's
+// /result endpoint with its JSON/CSV content negotiation.
 package report
 
 import (

@@ -1,0 +1,571 @@
+// Package server is the batch-simulation service layer: a job manager
+// that runs experiment-grid requests asynchronously on the shared mc
+// worker pool, and an HTTP/JSON API (see http.go and docs/API.md) that
+// exposes it. It sits above internal/mc, internal/report and
+// internal/artifact — the same position cmd/sweep occupies, but
+// long-running: one core.System (so model, golden-trace and hazard
+// caches amortize across every job the daemon ever serves) and one
+// optional artifact store shared by all jobs.
+//
+// Jobs are deduplicated by content: a request is canonicalized
+// (spec.go) and hashed together with the system fingerprint, and two
+// clients submitting the same experiment share one execution and one
+// result — the submit path returns the existing job. Completed jobs are
+// retained in memory (bounded, LRU by completion) and their grids are
+// checkpointed per cell to the artifact store, so even a job evicted
+// from memory re-answers from warm cells in milliseconds when
+// resubmitted. Cancellation propagates through context into the grid
+// engine at trial granularity, and Shutdown drains: no new submissions,
+// queued and running jobs finish (or are force-cancelled when the drain
+// context expires).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/mc"
+	"repro/internal/progress"
+	"repro/internal/report"
+)
+
+// Submission and lifecycle errors surfaced to clients.
+var (
+	// ErrQueueFull reports a bounded queue at capacity; clients should
+	// retry later (HTTP 503).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining reports a manager that is shutting down and no longer
+	// accepts jobs (HTTP 503).
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+	// ErrNotFound reports an unknown job ID (HTTP 404).
+	ErrNotFound = errors.New("server: no such job")
+	// ErrNotFinished reports a result request for a job that has not
+	// completed yet (HTTP 409).
+	ErrNotFinished = errors.New("server: job not finished")
+)
+
+// State is a job's lifecycle state. The machine is
+// queued → running → {done, failed, canceled}; cancel requests move
+// queued jobs terminal directly and running jobs through the grid
+// engine's context.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Progress is one job progress snapshot as streamed to clients: the
+// engine's trial/point counters plus the job state, so a single stream
+// carries both liveness and completion.
+type Progress struct {
+	State       State `json:"state"`
+	DoneTrials  int   `json:"done_trials"`
+	TotalTrials int   `json:"total_trials"`
+	DonePoints  int   `json:"done_points"`
+	TotalPoints int   `json:"total_points"`
+}
+
+// Options configures a Manager. System is required; everything else
+// defaults.
+type Options struct {
+	// System is the shared simulation stack; its model/golden/hazard
+	// caches amortize across all jobs.
+	System *core.System
+	// Store, when non-nil, persists characterizations, traces, hazard
+	// tables and grid cells; deduped resubmissions of completed grids
+	// answer from it. It should be the same store attached to System.
+	Store *artifact.Store
+	// QueueCap bounds the number of jobs queued but not yet running
+	// (default 64); submissions beyond it fail with ErrQueueFull.
+	QueueCap int
+	// Parallel is the number of jobs executed concurrently (default 1:
+	// each job already saturates the cores through the mc worker pool).
+	Parallel int
+	// Workers caps the mc worker pool per job (default NumCPU).
+	Workers int
+	// KeepJobs bounds retained terminal jobs (default 256); the oldest
+	// completed jobs are evicted first. Queued and running jobs are never
+	// evicted.
+	KeepJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.KeepJobs <= 0 {
+		o.KeepJobs = 256
+	}
+	return o
+}
+
+// Stats counts manager traffic since start; it backs the /v1/stats
+// endpoint and the dedup integration tests.
+type Stats struct {
+	Submitted int64 `json:"submitted"` // accepted submissions, deduped included
+	Deduped   int64 `json:"deduped"`   // submissions answered by an existing job
+	Executed  int64 `json:"executed"`  // grid runs actually started
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+}
+
+// Job is one submitted experiment. Mutable fields are guarded by the
+// manager's mutex; the result document is immutable once the job is
+// terminal.
+type Job struct {
+	ID          string
+	Fingerprint string
+	Spec        JobSpec // canonical
+
+	state    State
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	cells       []mc.CellResult
+	cachedCells int
+	doc         *report.Document
+
+	ctx    context.Context // cancelled by Cancel / Shutdown force-drain
+	cancel context.CancelFunc
+	done   chan struct{} // closed when terminal
+	prog   *progress.Broadcaster[Progress]
+}
+
+// Status is the JSON status snapshot of a job.
+type Status struct {
+	ID          string     `json:"id"`
+	Fingerprint string     `json:"fingerprint"`
+	State       State      `json:"state"`
+	Error       string     `json:"error,omitempty"`
+	Spec        JobSpec    `json:"spec"`
+	Created     time.Time  `json:"created"`
+	Started     *time.Time `json:"started,omitempty"`
+	Finished    *time.Time `json:"finished,omitempty"`
+	Cells       int        `json:"cells,omitempty"`
+	CachedCells int        `json:"cached_cells,omitempty"`
+	Progress    *Progress  `json:"progress,omitempty"`
+}
+
+// Manager owns the job table, the dedup index and the bounded queue,
+// and executes jobs on Options.Parallel runner goroutines.
+type Manager struct {
+	opt Options
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []*Job          // insertion order, for terminal-job eviction
+	byFP     map[string]*Job // live dedup index: queued/running/done jobs
+	queue    chan *Job
+	seq      int
+	draining bool
+	stats    Stats
+
+	runners sync.WaitGroup
+}
+
+// NewManager starts a manager and its runner goroutines.
+func NewManager(opt Options) *Manager {
+	opt = opt.withDefaults()
+	m := &Manager{
+		opt:   opt,
+		jobs:  make(map[string]*Job),
+		byFP:  make(map[string]*Job),
+		queue: make(chan *Job, opt.QueueCap),
+	}
+	for i := 0; i < opt.Parallel; i++ {
+		m.runners.Add(1)
+		go func() {
+			defer m.runners.Done()
+			for j := range m.queue {
+				m.runJob(j)
+			}
+		}()
+	}
+	return m
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// System returns the manager's simulation stack (for cache summaries).
+func (m *Manager) System() *core.System { return m.opt.System }
+
+// Submit canonicalizes and enqueues a job. If a live job (queued,
+// running or successfully completed) already carries the same
+// fingerprint, that job is returned with deduped = true and nothing new
+// runs: concurrent identical submissions share one execution, and a
+// resubmission of a completed job answers instantly. Failed and
+// cancelled jobs do not satisfy dedup — resubmitting one schedules a
+// fresh run.
+func (m *Manager) Submit(spec JobSpec) (*Job, bool, error) {
+	c, err := spec.Canonicalize()
+	if err != nil {
+		return nil, false, err
+	}
+	fp := c.Fingerprint(m.opt.System.Fingerprint())
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, false, ErrDraining
+	}
+	if j, ok := m.byFP[fp]; ok {
+		m.stats.Submitted++
+		m.stats.Deduped++
+		return j, true, nil
+	}
+	m.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		ID:          fmt.Sprintf("j%06d", m.seq),
+		Fingerprint: fp,
+		Spec:        c,
+		state:       StateQueued,
+		created:     time.Now(),
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		prog:        progress.NewBroadcaster[Progress](),
+	}
+	j.prog.Publish(Progress{State: StateQueued})
+	select {
+	case m.queue <- j:
+	default:
+		cancel()
+		return nil, false, ErrQueueFull
+	}
+	m.stats.Submitted++
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j)
+	m.byFP[fp] = j
+	m.evictLocked()
+	return j, false, nil
+}
+
+// runJob executes one queued job to a terminal state.
+func (m *Manager) runJob(j *Job) {
+	m.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	m.stats.Executed++
+	m.mu.Unlock()
+	j.prog.Publish(Progress{State: StateRunning})
+
+	grid, err := j.Spec.grid(m.opt.System, m.opt.Store, m.opt.Workers, func(p mc.Progress) {
+		j.prog.Publish(Progress{
+			State:       StateRunning,
+			DoneTrials:  p.DoneTrials,
+			TotalTrials: p.TotalTrials,
+			DonePoints:  p.DonePoints,
+			TotalPoints: p.TotalPoints,
+		})
+	})
+	var cells []mc.CellResult
+	if err == nil {
+		cells, err = grid.RunContext(j.ctx)
+	}
+
+	m.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case errors.Is(err, context.Canceled):
+		// Keyed off the run's own error, not ctx.Err(): a cancel that
+		// lands after the grid completed still counts as done.
+		j.state = StateCanceled
+		j.err = context.Canceled.Error()
+		m.stats.Canceled++
+		delete(m.byFP, j.Fingerprint)
+	case err != nil:
+		j.state = StateFailed
+		j.err = err.Error()
+		m.stats.Failed++
+		delete(m.byFP, j.Fingerprint)
+	default:
+		j.state = StateDone
+		j.cells = cells
+		for _, c := range cells {
+			if c.Cached {
+				j.cachedCells++
+			}
+		}
+		j.doc = &report.Document{
+			Meta: report.Meta{
+				Tool:  "fisimd",
+				Seed:  j.Spec.Seed,
+				Cells: len(cells),
+				Axes:  j.Spec.axesSummary(),
+			},
+			Series: report.FromCells(cells),
+		}
+		m.stats.Done++
+	}
+	final := m.progressLocked(j)
+	m.mu.Unlock()
+
+	j.prog.Publish(final)
+	j.prog.Close()
+	j.cancel() // release the context's resources
+	close(j.done)
+}
+
+// progressLocked composes a job's current Progress snapshot under the
+// manager lock.
+func (m *Manager) progressLocked(j *Job) Progress {
+	p, ok := j.prog.Last()
+	if !ok {
+		p = Progress{}
+	}
+	p.State = j.state
+	return p
+}
+
+// evictLocked drops the oldest terminal jobs beyond KeepJobs.
+func (m *Manager) evictLocked() {
+	terminal := 0
+	for _, j := range m.order {
+		if j.state.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= m.opt.KeepJobs {
+		return
+	}
+	kept := m.order[:0]
+	for _, j := range m.order {
+		if terminal > m.opt.KeepJobs && j.state.Terminal() {
+			terminal--
+			delete(m.jobs, j.ID)
+			if m.byFP[j.Fingerprint] == j {
+				delete(m.byFP, j.Fingerprint)
+			}
+			continue
+		}
+		kept = append(kept, j)
+	}
+	m.order = kept
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Status snapshots a job's public state.
+func (m *Manager) Status(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return m.statusLocked(j), nil
+}
+
+func (m *Manager) statusLocked(j *Job) Status {
+	st := Status{
+		ID:          j.ID,
+		Fingerprint: j.Fingerprint,
+		State:       j.state,
+		Error:       j.err,
+		Spec:        j.Spec,
+		Created:     j.created,
+		Cells:       len(j.cells),
+		CachedCells: j.cachedCells,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	p := m.progressLocked(j)
+	st.Progress = &p
+	return st
+}
+
+// List snapshots every retained job, oldest first.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.order))
+	for _, j := range m.order {
+		out = append(out, m.statusLocked(j))
+	}
+	return out
+}
+
+// Result returns a finished job's result document. The document is
+// built once at completion, so every client — including all deduped
+// submitters — renders the same bytes.
+func (m *Manager) Result(id string) (*report.Document, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	switch j.state {
+	case StateDone:
+		return j.doc, nil
+	case StateFailed:
+		return nil, fmt.Errorf("server: job failed: %s", j.err)
+	case StateCanceled:
+		return nil, fmt.Errorf("server: job canceled")
+	}
+	return nil, ErrNotFinished
+}
+
+// Cancel requests cancellation. Queued jobs go terminal immediately;
+// running jobs stop at the next trial boundary through the grid
+// engine's context. Cancelling a terminal job is a no-op returning
+// false.
+func (m *Manager) Cancel(id string) (bool, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return false, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		// The runner will observe the state change and skip it.
+		j.state = StateCanceled
+		j.err = context.Canceled.Error()
+		j.finished = time.Now()
+		m.stats.Canceled++
+		delete(m.byFP, j.Fingerprint)
+		final := m.progressLocked(j)
+		m.mu.Unlock()
+		j.cancel()
+		j.prog.Publish(final)
+		j.prog.Close()
+		close(j.done)
+		return true, nil
+	case StateRunning:
+		m.mu.Unlock()
+		j.cancel()
+		return true, nil
+	}
+	m.mu.Unlock()
+	return false, nil
+}
+
+// Wait blocks until the job is terminal or ctx expires, returning the
+// final (or current, on ctx expiry) status.
+func (m *Manager) Wait(ctx context.Context, id string) (Status, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return Status{}, err
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+	}
+	return m.Status(id)
+}
+
+// Subscribe attaches a progress observer to a job. The returned channel
+// carries coalesced Progress snapshots and closes when the job is
+// terminal (after delivering the terminal snapshot); for an
+// already-terminal job it delivers exactly that snapshot. Always call
+// cancel.
+func (m *Manager) Subscribe(id string) (<-chan Progress, func(), error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, nil, ErrNotFound
+	}
+	if j.state.Terminal() {
+		final := m.progressLocked(j)
+		m.mu.Unlock()
+		ch := make(chan Progress, 1)
+		ch <- final
+		close(ch)
+		return ch, func() {}, nil
+	}
+	m.mu.Unlock()
+	ch, cancel := j.prog.Subscribe()
+	return ch, cancel, nil
+}
+
+// Shutdown drains the manager: no further submissions are accepted,
+// queued and running jobs run to completion, and the call returns when
+// every runner has stopped. If ctx expires first, all remaining jobs
+// are cancelled and Shutdown waits for the runners to observe it.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.runners.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for _, j := range m.order {
+			if !j.state.Terminal() {
+				j.cancel()
+			}
+		}
+		m.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// axesSummary renders the canonical axes for report metadata.
+func (s JobSpec) axesSummary() string {
+	return fmt.Sprintf("bench=%v model=%v vdd=%v sigma=%v freqs=%d mode=%s",
+		s.Benches, s.Models, s.Vdds, s.Sigmas, len(s.Freqs), s.Mode)
+}

@@ -2,6 +2,10 @@
 // fault-injection simulator: empirical CDFs over timing samples, online
 // moment accumulators, deterministic seed fan-out for parallel Monte-Carlo
 // trials, and a clipped normal sampler for supply-voltage noise.
+//
+// stats is a leaf of the dependency graph (stdlib only), used by
+// nearly every layer: timing's CDFs, fi's samplers and hazard math,
+// the mc engine's seed fan-out and Wilson-interval adaptive stopping.
 package stats
 
 import (
@@ -197,27 +201,27 @@ func NormalQuantile(p float64) float64 {
 	}
 	// Acklam's rational approximation (|eps| < 1.15e-9)...
 	const (
-		a1 = -3.969683028665376e+01
-		a2 = 2.209460984245205e+02
-		a3 = -2.759285104469687e+02
-		a4 = 1.383577518672690e+02
-		a5 = -3.066479806614716e+01
-		a6 = 2.506628277459239e+00
-		b1 = -5.447609879822406e+01
-		b2 = 1.615858368580409e+02
-		b3 = -1.556989798598866e+02
-		b4 = 6.680131188771972e+01
-		b5 = -1.328068155288572e+01
-		c1 = -7.784894002430293e-03
-		c2 = -3.223964580411365e-01
-		c3 = -2.400758277161838e+00
-		c4 = -2.549732539343734e+00
-		c5 = 4.374664141464968e+00
-		c6 = 2.938163982698783e+00
-		d1 = 7.784695709041462e-03
-		d2 = 3.224671290700398e-01
-		d3 = 2.445134137142996e+00
-		d4 = 3.754408661907416e+00
+		a1   = -3.969683028665376e+01
+		a2   = 2.209460984245205e+02
+		a3   = -2.759285104469687e+02
+		a4   = 1.383577518672690e+02
+		a5   = -3.066479806614716e+01
+		a6   = 2.506628277459239e+00
+		b1   = -5.447609879822406e+01
+		b2   = 1.615858368580409e+02
+		b3   = -1.556989798598866e+02
+		b4   = 6.680131188771972e+01
+		b5   = -1.328068155288572e+01
+		c1   = -7.784894002430293e-03
+		c2   = -3.223964580411365e-01
+		c3   = -2.400758277161838e+00
+		c4   = -2.549732539343734e+00
+		c5   = 4.374664141464968e+00
+		c6   = 2.938163982698783e+00
+		d1   = 7.784695709041462e-03
+		d2   = 3.224671290700398e-01
+		d3   = 2.445134137142996e+00
+		d4   = 3.754408661907416e+00
 		plow = 0.02425
 	)
 	var x float64

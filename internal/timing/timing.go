@@ -4,6 +4,10 @@
 // library sweep), the cycle-by-cycle supply-voltage noise (clipped
 // Gaussian), and the empirical timing-error CDFs extracted by dynamic
 // timing analysis.
+//
+// timing is a near-leaf of the dependency graph (stdlib plus stats):
+// gates and circuit scale their delays through it, dta records into
+// its CDFs, and fi's models evaluate them per cycle.
 package timing
 
 import (
