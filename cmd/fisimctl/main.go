@@ -5,11 +5,20 @@
 //
 //	fisimctl -addr http://localhost:8023 submit -bench median -model C \
 //	    -lo 690 -hi 730 -step 20 -trials 8 -wait -format csv
-//	fisimctl status j000001
+//	fisimctl submit -bench median -priority batch -trials 100 ...
+//	fisimctl -api-key team-a status j000001
 //	fisimctl result j000001 -format csv -o out.csv
 //	fisimctl watch j000001
 //	fisimctl cancel j000001
 //	fisimctl stats
+//
+// Requests ride on internal/client's retry layer: transient failures
+// (connection errors, 429 shed/rate-limit responses, 502/503/504) are
+// retried with jittered exponential backoff, honoring the daemon's
+// Retry-After advice. Retrying a submission is safe by construction —
+// fisimd dedups by content fingerprint, so a replayed spec lands on the
+// already-scheduled job instead of double-running the grid. -retries 1
+// disables retrying.
 //
 // submit prints the job ID (and, with -wait, blocks until the job is
 // terminal and prints the result). Exit status is non-zero on failed or
@@ -18,8 +27,7 @@ package main
 
 import (
 	"bufio"
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -28,15 +36,19 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"time"
+
+	"repro/internal/client"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fisimctl: ")
 	addr := flag.String("addr", envOr("FISIMD_ADDR", "http://localhost:8023"), "fisimd base URL (or $FISIMD_ADDR)")
+	apiKey := flag.String("api-key", envOr("FISIMD_API_KEY", ""), "tenant API key, sent as X-API-Key (or $FISIMD_API_KEY)")
+	retries := flag.Int("retries", 6, "attempts per request incl. the first (1 = no retry)")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the command (0 = none)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fisimctl [-addr URL] {submit|status|result|watch|cancel|list|stats} ...\n")
+		fmt.Fprintf(os.Stderr, "usage: fisimctl [-addr URL] [-api-key KEY] {submit|status|result|watch|cancel|list|stats} ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,7 +57,25 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimRight(*addr, "/")}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	c := &ctl{
+		ctx: ctx,
+		api: client.New(client.Config{
+			Base:        strings.TrimRight(*addr, "/"),
+			APIKey:      *apiKey,
+			MaxAttempts: *retries,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, "fisimctl: "+format+"\n", a...)
+			},
+		}),
+		base:   strings.TrimRight(*addr, "/"),
+		apiKey: *apiKey,
+	}
 	var err error
 	switch args[0] {
 	case "submit":
@@ -59,9 +89,9 @@ func main() {
 	case "cancel":
 		err = c.cancel(args[1:])
 	case "list":
-		err = c.getJSON("/v1/jobs", os.Stdout)
+		err = c.api.GetJSON(ctx, "/v1/jobs", os.Stdout)
 	case "stats":
-		err = c.getJSON("/v1/stats", os.Stdout)
+		err = c.api.GetJSON(ctx, "/v1/stats", os.Stdout)
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}
@@ -77,36 +107,14 @@ func envOr(k, def string) string {
 	return def
 }
 
-type client struct{ base string }
-
-// apiError decodes the server's {"error": ...} body for non-2xx
-// responses.
-func apiError(resp *http.Response) error {
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	var e struct {
-		Error string `json:"error"`
-	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("%s: %s", resp.Status, e.Error)
-	}
-	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+type ctl struct {
+	ctx    context.Context
+	api    *client.Client
+	base   string // for the raw SSE stream, which bypasses the retry layer
+	apiKey string
 }
 
-func (c *client) getJSON(path string, w io.Writer) error {
-	resp, err := http.Get(c.base + path)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode/100 != 2 {
-		return apiError(resp)
-	}
-	defer resp.Body.Close()
-	_, err = io.Copy(w, resp.Body)
-	return err
-}
-
-func (c *client) submit(args []string) error {
+func (c *ctl) submit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	benches := fs.String("bench", "median", "benchmark name(s), comma-separated")
 	models := fs.String("model", "C", "fault model(s): none, A, B, B+, C (comma-separated)")
@@ -121,6 +129,7 @@ func (c *client) submit(args []string) error {
 	trialsMax := fs.Int("trials-max", 0, "adaptive mode: trial budget per point")
 	seed := fs.Int64("seed", 1, "random seed")
 	mode := fs.String("mode", "auto", "trial path: auto, scan or full")
+	priority := fs.String("priority", "interactive", "scheduling lane: interactive or batch")
 	wait := fs.Bool("wait", false, "block until the job is terminal, then print the result")
 	format := fs.String("format", "json", "result format with -wait: json or csv")
 	outFile := fs.String("o", "", "write -wait result to this file (default stdout)")
@@ -132,83 +141,36 @@ func (c *client) submit(args []string) error {
 		"vdds":    floats("vdd", *vdds),
 		"sigmas":  floats("sigma", *sigmas),
 		"trials":  *trials, "trials_min": *trialsMin, "trials_max": *trialsMax,
-		"seed": *seed, "mode": *mode,
+		"seed": *seed, "mode": *mode, "priority": *priority,
 	}
 	if *freqs != "" {
 		spec["freqs"] = floats("freq", *freqs)
 	} else {
 		spec["freq_lo"], spec["freq_hi"], spec["freq_step"] = *lo, *hi, *step
 	}
-	blob, _ := json.Marshal(spec)
-	resp, err := http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(blob))
+	sub, err := c.api.Submit(c.ctx, spec)
 	if err != nil {
 		return err
 	}
-	if resp.StatusCode/100 != 2 {
-		return apiError(resp)
-	}
-	var sub struct {
-		ID      string `json:"id"`
-		State   string `json:"state"`
-		Deduped bool   `json:"deduped"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
-		resp.Body.Close()
-		return err
-	}
-	resp.Body.Close()
 	fmt.Fprintf(os.Stderr, "job %s state=%s deduped=%v\n", sub.ID, sub.State, sub.Deduped)
 	if !*wait {
 		fmt.Println(sub.ID)
 		return nil
 	}
-	if err := c.awaitTerminal(sub.ID); err != nil {
+	st, err := c.api.Wait(c.ctx, sub.ID)
+	if err != nil {
 		return err
+	}
+	switch st.State {
+	case "failed":
+		return fmt.Errorf("job %s failed: %s", sub.ID, st.Error)
+	case "canceled":
+		return fmt.Errorf("job %s canceled", sub.ID)
 	}
 	return c.fetchResult(sub.ID, *format, *outFile)
 }
 
-// awaitTerminal long-polls until the job reaches a terminal state,
-// erroring out on failed/cancelled jobs.
-func (c *client) awaitTerminal(id string) error {
-	for {
-		resp, err := http.Get(c.base + "/v1/jobs/" + id + "?wait=30s")
-		if err != nil {
-			return err
-		}
-		if resp.StatusCode/100 != 2 {
-			return apiError(resp)
-		}
-		var st struct {
-			State string `json:"state"`
-			Error string `json:"error"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		switch st.State {
-		case "done":
-			return nil
-		case "failed":
-			return fmt.Errorf("job %s failed: %s", id, st.Error)
-		case "canceled":
-			return fmt.Errorf("job %s canceled", id)
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
-}
-
-func (c *client) fetchResult(id, format, outFile string) (err error) {
-	resp, err := http.Get(c.base + "/v1/jobs/" + id + "/result?format=" + format)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode/100 != 2 {
-		return apiError(resp)
-	}
-	defer resp.Body.Close()
+func (c *ctl) fetchResult(id, format, outFile string) (err error) {
 	out := io.Writer(os.Stdout)
 	if outFile != "" {
 		var f *os.File
@@ -224,18 +186,17 @@ func (c *client) fetchResult(id, format, outFile string) (err error) {
 		}()
 		out = f
 	}
-	_, err = io.Copy(out, resp.Body)
-	return err
+	return c.api.Result(c.ctx, id, format, out)
 }
 
-func (c *client) status(args []string) error {
+func (c *ctl) status(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: fisimctl status <job-id>")
 	}
-	return c.getJSON("/v1/jobs/"+args[0], os.Stdout)
+	return c.api.GetJSON(c.ctx, "/v1/jobs/"+args[0], os.Stdout)
 }
 
-func (c *client) result(args []string) error {
+func (c *ctl) result(args []string) error {
 	fs := flag.NewFlagSet("result", flag.ExitOnError)
 	format := fs.String("format", "json", "json or csv")
 	outFile := fs.String("o", "", "output file (default stdout)")
@@ -247,19 +208,28 @@ func (c *client) result(args []string) error {
 }
 
 // watch prints the SSE progress stream line by line until the terminal
-// "done" event.
-func (c *client) watch(args []string) error {
+// "done" event. The stream bypasses the retry layer (a reconnect would
+// re-deliver history anyway — each event is a full snapshot).
+func (c *ctl) watch(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: fisimctl watch <job-id>")
 	}
-	resp, err := http.Get(c.base + "/v1/jobs/" + args[0] + "/events")
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, c.base+"/v1/jobs/"+args[0]+"/events", nil)
 	if err != nil {
 		return err
 	}
-	if resp.StatusCode/100 != 2 {
-		return apiError(resp)
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
 	sc := bufio.NewScanner(resp.Body)
 	var event string
 	for sc.Scan() {
@@ -274,24 +244,16 @@ func (c *client) watch(args []string) error {
 	return sc.Err()
 }
 
-func (c *client) cancel(args []string) error {
+func (c *ctl) cancel(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: fisimctl cancel <job-id>")
 	}
-	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+args[0], nil)
+	canceled, err := c.api.Cancel(c.ctx, args[0])
 	if err != nil {
 		return err
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode/100 != 2 {
-		return apiError(resp)
-	}
-	defer resp.Body.Close()
-	_, err = io.Copy(os.Stdout, resp.Body)
-	return err
+	fmt.Printf("{\"canceled\": %v}\n", canceled)
+	return nil
 }
 
 func splitList(s string) []string {

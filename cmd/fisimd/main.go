@@ -9,16 +9,26 @@
 // warm-starts, and a resubmitted completed grid answers from cached
 // cells in milliseconds.
 //
+// Multi-tenant admission control (see docs/API.md "Admission control"):
+// clients are identified by X-API-Key (or remote address), rate-limited
+// and quota-bounded per the -tenants table (or the -rate/-burst/
+// -max-active defaults), and scheduled through two bounded priority
+// lanes — interactive ahead of batch under a weighted round-robin, with
+// overload shed as 429 + Retry-After instead of a hard queue-full.
+//
 //	fisimd -addr :8023 -cache-dir /var/cache/fisim
 //	fisimd -addr :8023 -parallel 2 -queue 128 -dta 4096
+//	fisimd -addr :8023 -rate 5 -burst 10 -max-active 8 -tenants tenants.json
 //
 // See docs/API.md for the HTTP API and cmd/fisimctl for the client.
 // SIGINT/SIGTERM drain gracefully: running and queued jobs finish
-// (bounded by -drain-timeout), then the listener closes.
+// (bounded by -drain-timeout), blocked long-polls and SSE streams are
+// released immediately, then the listener closes.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"log"
@@ -41,8 +51,15 @@ func main() {
 	dtaCycles := flag.Int("dta", 8192, "DTA characterization cycles")
 	workers := flag.Int("workers", 0, "mc worker goroutines per job (0 = NumCPU)")
 	parallel := flag.Int("parallel", 1, "jobs executed concurrently")
-	queueCap := flag.Int("queue", 64, "bounded job queue capacity")
+	queueCap := flag.Int("queue", 64, "bounded job queue capacity (across lanes)")
+	batchCap := flag.Int("batch-queue", 0, "batch lane queue bound (0 = -queue)")
+	interactiveCap := flag.Int("interactive-queue", 0, "interactive lane queue bound (0 = -queue)")
+	interactiveWeight := flag.Int("interactive-weight", 4, "interactive dequeues per batch dequeue under load")
 	keepJobs := flag.Int("keep", 256, "terminal jobs retained in memory")
+	rate := flag.Float64("rate", 0, "default per-client submission rate limit, req/s (0 = unlimited)")
+	burst := flag.Int("burst", 0, "default per-client token-bucket burst (0 = rate, min 1)")
+	maxActive := flag.Int("max-active", 0, "default per-client active-job quota (0 = unlimited)")
+	tenantsFile := flag.String("tenants", "", "JSON tenants table overriding the defaults per client (see docs/API.md)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful drain bound on shutdown")
 	flag.Parse()
 
@@ -60,10 +77,29 @@ func main() {
 		log.Printf("artifact store: %s", store.Dir())
 	}
 
+	tenants := server.TenantsConfig{
+		Default: server.TenantConfig{Rate: *rate, Burst: *burst, MaxActive: *maxActive},
+	}
+	if *tenantsFile != "" {
+		blob, err := os.ReadFile(*tenantsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.Unmarshal(blob, &tenants); err != nil {
+			log.Fatalf("tenants %s: %v", *tenantsFile, err)
+		}
+		log.Printf("tenants: default %+v, %d overrides", tenants.Default, len(tenants.Clients))
+	}
+
 	m := server.NewManager(server.Options{
 		System:   sys,
 		Store:    store,
 		QueueCap: *queueCap,
+		Lanes: map[string]server.LaneConfig{
+			server.LaneInteractive: {Cap: *interactiveCap, Weight: *interactiveWeight},
+			server.LaneBatch:       {Cap: *batchCap, Weight: 1},
+		},
+		Tenants:  tenants,
 		Parallel: *parallel,
 		Workers:  *workers,
 		KeepJobs: *keepJobs,

@@ -153,7 +153,8 @@ func PoFF(points []Point) (float64, bool) { return mc.PoFF(points) }
 // HTTP/JSON API documented in docs/API.md.
 type (
 	// ServerOptions configures a JobManager (system, artifact store,
-	// queue bound, job parallelism, retention).
+	// queue and lane bounds, tenant admission limits, job parallelism,
+	// retention).
 	ServerOptions = server.Options
 	// JobManager owns the job table, dedup index and bounded queue.
 	JobManager = server.Manager
@@ -166,6 +167,20 @@ type (
 	JobState = server.State
 	// JobProgress is one streamed job progress snapshot.
 	JobProgress = server.Progress
+	// JobBackend executes canonical job specs for a JobManager; the
+	// default runs grids on the in-process worker pool, and tests swap
+	// in fakes (see ChaosBackend).
+	JobBackend = server.Backend
+	// ChaosBackend wraps a JobBackend with injected delays and mid-grid
+	// faults for resilience testing.
+	ChaosBackend = server.ChaosBackend
+	// TenantConfig is one client's admission limits (rate, burst,
+	// active-job quota).
+	TenantConfig = server.TenantConfig
+	// TenantsConfig is the per-client admission table with defaults.
+	TenantsConfig = server.TenantsConfig
+	// LaneConfig bounds and weights one priority lane.
+	LaneConfig = server.LaneConfig
 )
 
 // NewJobManager starts a job manager and its runner goroutines; drain

@@ -1,0 +1,123 @@
+// Chaos integration for the retrying client: requests travel through a
+// loadgen.FaultProxy that drops connections and injects 503s in front
+// of a real manager, and the client must still converge — with retried
+// submissions landing on one job (server-side dedup makes the retry
+// idempotent) and every reader seeing byte-identical result bytes.
+// This lives in an external test package because loadgen imports
+// client.
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/dta"
+	"repro/internal/loadgen"
+	"repro/internal/mc"
+	"repro/internal/server"
+)
+
+type instantBackend struct{}
+
+func (instantBackend) Run(ctx context.Context, spec server.JobSpec, onProgress func(mc.Progress)) ([]mc.CellResult, error) {
+	onProgress(mc.Progress{DoneTrials: spec.Trials, TotalTrials: spec.Trials, DonePoints: 1, TotalPoints: 1})
+	return nil, nil
+}
+
+func TestRetryThroughFaultProxy(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.DTA = dta.Config{Cycles: 768, Seed: 5}
+	m := server.NewManager(server.Options{System: core.New(cfg), Backend: instantBackend{}})
+	defer m.Shutdown(context.Background())
+	origin := httptest.NewServer(server.Handler(m))
+	defer origin.Close()
+
+	proxy, err := loadgen.NewFaultProxy(origin.URL, loadgen.Faults{DropProb: 0.25, ErrProb: 0.2}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	spec := map[string]any{
+		"benches": []string{"median"}, "freqs": []float64{700},
+		"trials": 2, "seed": int64(1234),
+	}
+
+	// Several clients race the same spec through the faulty hop; each
+	// retries independently. All surviving submissions must name one job.
+	const clients = 4
+	ids := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := client.New(client.Config{
+				Base: front.URL, MaxAttempts: 12,
+				BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond,
+				Seed: int64(i) + 1,
+			})
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			sr, err := c.Submit(ctx, spec)
+			if err != nil {
+				t.Errorf("client %d never converged: %v", i, err)
+				return
+			}
+			ids[i] = sr.ID
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("retried submissions landed on different jobs: %v", ids)
+		}
+	}
+	if ids[0] == "" {
+		t.Fatal("no submission survived the proxy")
+	}
+
+	// The server must have executed exactly one run despite every replay.
+	waiter := client.New(client.Config{
+		Base: front.URL, MaxAttempts: 12,
+		BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Seed: 77,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := waiter.Wait(ctx, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("job state = %s (%s)", st.State, st.Error)
+	}
+	if got := m.Stats(); got.Executed != 1 {
+		t.Errorf("replayed submissions executed %d runs, want 1", got.Executed)
+	}
+
+	// Byte-identical results through the faulty hop: the proxy never
+	// touches bodies, so two independent fetches match exactly.
+	var a, b bytes.Buffer
+	if err := waiter.Result(ctx, ids[0], "json", &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := waiter.Result(ctx, ids[0], "json", &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("result bytes differ across retried fetches (%d vs %d bytes)", a.Len(), b.Len())
+	}
+
+	// The faults were real: the proxy actually dropped and errored.
+	dropped, errored, passed := proxy.Counts()
+	if dropped == 0 || errored == 0 || passed == 0 {
+		t.Errorf("fault proxy counts dropped=%d errored=%d passed=%d — chaos did not engage", dropped, errored, passed)
+	}
+}

@@ -1,0 +1,149 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetryableCodes(t *testing.T) {
+	for code, want := range map[int]bool{
+		http.StatusTooManyRequests:     true,
+		http.StatusBadGateway:          true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusGatewayTimeout:      true,
+		http.StatusBadRequest:          false,
+		http.StatusNotFound:            false,
+		http.StatusConflict:            false,
+		http.StatusInternalServerError: false,
+	} {
+		if got := retryable(code); got != want {
+			t.Errorf("retryable(%d) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for h, want := range map[string]time.Duration{
+		"":     0,
+		"3":    3 * time.Second,
+		"0":    0,
+		"-1":   0,
+		"soon": 0, // HTTP-date form is not emitted by fisimd; treated as absent
+	} {
+		if got := parseRetryAfter(h); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+// TestBackoff pins the delay discipline: exponential growth from
+// BaseDelay, a MaxDelay cap, a server Retry-After hint overriding the
+// computed delay when larger, and ±25% jitter either way.
+func TestBackoff(t *testing.T) {
+	c := New(Config{Base: "http://x", BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Seed: 1})
+	within := func(name string, d, lo, hi time.Duration) {
+		t.Helper()
+		if d < lo || d > hi {
+			t.Errorf("%s delay = %v, want in [%v, %v]", name, d, lo, hi)
+		}
+	}
+	// Exponential: attempt 0 → 100ms, attempt 2 → 400ms (pre-jitter).
+	within("attempt0", c.backoff(0, 0), 75*time.Millisecond, 125*time.Millisecond)
+	within("attempt2", c.backoff(2, 0), 300*time.Millisecond, 500*time.Millisecond)
+	// Cap: a huge attempt collapses to MaxDelay.
+	within("capped", c.backoff(40, 0), 1500*time.Millisecond, 2500*time.Millisecond)
+	// A server hint above the exponential term wins...
+	within("hinted", c.backoff(0, time.Second), 750*time.Millisecond, 1250*time.Millisecond)
+	// ...but a hint below it does not shrink the computed delay.
+	within("small-hint", c.backoff(2, 50*time.Millisecond), 300*time.Millisecond, 500*time.Millisecond)
+}
+
+// TestDoRetriesTransient drives do() against a scripted server:
+// transient statuses are retried until success, the API key rides on
+// every attempt, and the Retry-After hint is surfaced.
+func TestDoRetriesTransient(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get("X-API-Key"); got != "k" {
+			t.Errorf("attempt without API key (got %q)", got)
+		}
+		switch hits.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+		case 2:
+			http.Error(w, `{"error":"flaky"}`, http.StatusServiceUnavailable)
+		default:
+			w.Write([]byte(`{"id":"j000001","state":"queued"}`))
+		}
+	}))
+	defer ts.Close()
+
+	c := New(Config{Base: ts.URL, APIKey: "k", MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 1})
+	sr, err := c.Submit(context.Background(), map[string]any{"benches": []string{"median"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.ID != "j000001" || hits.Load() != 3 {
+		t.Errorf("id=%q hits=%d, want j000001 after 3 attempts", sr.ID, hits.Load())
+	}
+}
+
+// TestDoPermanentFailsFast pins that client errors are not retried.
+func TestDoPermanentFailsFast(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"bad spec"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := New(Config{Base: ts.URL, MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 1})
+	_, err := c.Submit(context.Background(), map[string]any{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if apiErr.Message != "bad spec" {
+		t.Errorf("message = %q", apiErr.Message)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("400 was attempted %d times, want 1", hits.Load())
+	}
+}
+
+// TestDoGivesUp pins the attempt budget: persistent overload surfaces
+// the last refusal (with its Retry-After hint) after MaxAttempts tries.
+func TestDoGivesUp(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"still shedding"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(Config{Base: ts.URL, MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 1})
+	start := time.Now()
+	_, err := c.Submit(context.Background(), map[string]any{})
+	if err == nil || !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("err = %v, want giving-up wrapper", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.RetryAfterHint() != time.Second {
+		t.Errorf("err chain lost the APIError/Retry-After: %v", err)
+	}
+	if hits.Load() != 3 {
+		t.Errorf("attempts = %d, want 3", hits.Load())
+	}
+	// The two waits honored the 1s hint (with -25% jitter floor).
+	if elapsed := time.Since(start); elapsed < 1500*time.Millisecond {
+		t.Errorf("gave up after %v; Retry-After hints were not honored", elapsed)
+	}
+}

@@ -1,0 +1,101 @@
+// HTTP-level fault injection. FaultProxy sits between a client and a
+// fisimd daemon (real or httptest) and corrupts the transport the way
+// production networks do — dropped connections, injected 5xx, added
+// latency — with a seeded RNG so a chaos run is reproducible. The
+// client-retry tests drive fisimctl's retry layer through it and assert
+// convergence; it never touches bodies, so whatever survives is
+// byte-identical to the origin's answer.
+
+package loadgen
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// Faults configures a FaultProxy's misbehaviour; probabilities are per
+// request and independent.
+type Faults struct {
+	// DropProb aborts the exchange with no response at all (connection
+	// reset from the client's point of view).
+	DropProb float64
+	// ErrProb answers 503 without consulting the origin.
+	ErrProb float64
+	// Delay is added before forwarding (applied to every request).
+	Delay time.Duration
+}
+
+// FaultProxy is a reverse proxy with injectable transport faults.
+type FaultProxy struct {
+	faults Faults
+	proxy  *httputil.ReverseProxy
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	dropped int
+	errored int
+	passed  int
+}
+
+// NewFaultProxy proxies to target (a base URL such as an
+// httptest.Server.URL) injecting the given faults, deterministic under
+// seed.
+func NewFaultProxy(target string, faults Faults, seed int64) (*FaultProxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultProxy{
+		faults: faults,
+		proxy:  httputil.NewSingleHostReverseProxy(u),
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Counts reports how many requests were dropped, answered with an
+// injected error, and passed through.
+func (p *FaultProxy) Counts() (dropped, errored, passed int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped, p.errored, p.passed
+}
+
+// ServeHTTP applies the fault dice, then forwards.
+func (p *FaultProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	drop := p.rng.Float64() < p.faults.DropProb
+	errInject := !drop && p.rng.Float64() < p.faults.ErrProb
+	switch {
+	case drop:
+		p.dropped++
+	case errInject:
+		p.errored++
+	default:
+		p.passed++
+	}
+	p.mu.Unlock()
+
+	if p.faults.Delay > 0 {
+		select {
+		case <-time.After(p.faults.Delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	switch {
+	case drop:
+		// Abort without writing a response: the client sees the
+		// connection die mid-exchange, exactly like a crashed proxy hop.
+		panic(http.ErrAbortHandler)
+	case errInject:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"loadgen: injected 503"}`))
+	default:
+		p.proxy.ServeHTTP(w, r)
+	}
+}

@@ -102,6 +102,39 @@ func (b *Broadcaster[T]) Subscribe() (<-chan T, func()) {
 func (b *Broadcaster[T]) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.closeLocked()
+}
+
+// CloseWith publishes v and closes in one critical section, so no
+// subscriber can observe the close without having been offered the
+// final value first — the terminal-snapshot idiom (publish, then close)
+// without the two-step.
+func (b *Broadcaster[T]) CloseWith(v T) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.last, b.seeded = v, true
+	for ch := range b.subs {
+		select {
+		case ch <- v:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- v:
+			default:
+			}
+		}
+	}
+	b.closeLocked()
+}
+
+// closeLocked closes every subscriber channel. Callers hold mu.
+func (b *Broadcaster[T]) closeLocked() {
 	if b.closed {
 		return
 	}

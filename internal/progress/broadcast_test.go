@@ -64,6 +64,43 @@ func TestBroadcasterCloseEndsStreams(t *testing.T) {
 	}
 }
 
+// TestBroadcasterCloseWith pins the atomic terminal publish: every live
+// subscriber sees the final value (replacing any stale pending one)
+// before its channel closes, and late subscribers are seeded with it.
+func TestBroadcasterCloseWith(t *testing.T) {
+	b := NewBroadcaster[string]()
+	ch, cancel := b.Subscribe()
+	defer cancel()
+	b.Publish("stale") // never consumed: the terminal value must replace it
+
+	b.CloseWith("final")
+	if got, ok := <-ch; !ok || got != "final" {
+		t.Fatalf("subscriber saw %q, %v; want final, true", got, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("channel still open after CloseWith")
+	}
+	if last, ok := b.Last(); !ok || last != "final" {
+		t.Fatalf("Last() = %q, %v after CloseWith", last, ok)
+	}
+
+	// Late subscribers get exactly the terminal value, then close.
+	ch2, cancel2 := b.Subscribe()
+	cancel2()
+	if got, ok := <-ch2; !ok || got != "final" {
+		t.Fatalf("late subscription = %q, %v; want final, true", got, ok)
+	}
+	if _, ok := <-ch2; ok {
+		t.Fatal("late subscription not closed after the terminal value")
+	}
+
+	// Publishing after CloseWith is dropped, like after Close.
+	b.Publish("after")
+	if last, _ := b.Last(); last != "final" {
+		t.Fatalf("Last() = %q after post-close publish, want final", last)
+	}
+}
+
 // TestBroadcasterConcurrent drives publishers and subscribers in
 // parallel; the race detector is the assertion.
 func TestBroadcasterConcurrent(t *testing.T) {

@@ -1,0 +1,589 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mc"
+)
+
+// fakeBackend is an instant (or gate-blocked) Backend so admission
+// tests exercise scheduling without paying for simulation.
+type fakeBackend struct {
+	gate chan struct{} // when non-nil, Run blocks on it (or the job context)
+}
+
+func (f *fakeBackend) Run(ctx context.Context, spec JobSpec, onProgress func(mc.Progress)) ([]mc.CellResult, error) {
+	if f.gate != nil {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	onProgress(mc.Progress{DoneTrials: spec.Trials, TotalTrials: spec.Trials, DonePoints: 1, TotalPoints: 1})
+	return nil, nil
+}
+
+// waitRunning spins until the job has been dequeued and started — the
+// tests that fill the queue behind a gated blocker need the blocker out
+// of the queue first.
+func waitRunning(t *testing.T, m *Manager, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := m.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never started running (state %s)", id, st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSchedulerWeightedFairness pins the smooth-WRR dequeue order: with
+// both lanes backlogged the interactive:batch ratio follows the weights
+// exactly, spread evenly rather than in bursts.
+func TestSchedulerWeightedFairness(t *testing.T) {
+	cases := []struct {
+		name     string
+		iw, bw   int // lane weights (0 = default)
+		nI, nB   int // jobs pushed per lane
+		wantSeq  string
+	}{
+		// Default 4:1 → the repeating period is I,I,B,I,I.
+		{"default-4-1", 0, 0, 8, 2, "IIBIIIIBII"},
+		// Equal weights alternate, ties to the higher-priority lane.
+		{"equal-1-1", 1, 1, 5, 5, "IBIBIBIBIB"},
+		// Batch heavier than interactive inverts the ratio.
+		{"inverted-1-3", 1, 3, 2, 6, "BIBBBIBB"},
+		// A lone backlog drains regardless of weights.
+		{"batch-only", 0, 0, 0, 4, "BBBB"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := map[string]LaneConfig{}
+			if tc.iw > 0 {
+				cfg[LaneInteractive] = LaneConfig{Weight: tc.iw}
+			}
+			if tc.bw > 0 {
+				cfg[LaneBatch] = LaneConfig{Weight: tc.bw}
+			}
+			s := newScheduler(64, cfg)
+			lanes := map[*Job]byte{}
+			for i := 0; i < tc.nI; i++ {
+				j := &Job{}
+				lanes[j] = 'I'
+				if _, err := s.push(j, LaneInteractive); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < tc.nB; i++ {
+				j := &Job{}
+				lanes[j] = 'B'
+				if _, err := s.push(j, LaneBatch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var got []byte
+			for i := 0; i < tc.nI+tc.nB; i++ {
+				j, ok := s.pop()
+				if !ok {
+					t.Fatalf("pop %d: scheduler closed", i)
+				}
+				got = append(got, lanes[j])
+			}
+			if string(got) != tc.wantSeq {
+				t.Errorf("dequeue order %s, want %s", got, tc.wantSeq)
+			}
+		})
+	}
+}
+
+// TestSchedulerDisplacement pins the shed-lowest-first contract: a full
+// global queue rejects batch arrivals outright, while an interactive
+// arrival displaces the newest queued batch job — and is itself
+// rejected once no lower-priority work remains.
+func TestSchedulerDisplacement(t *testing.T) {
+	s := newScheduler(2, nil)
+	b1, b2 := &Job{ID: "b1"}, &Job{ID: "b2"}
+	for _, j := range []*Job{b1, b2} {
+		if _, err := s.push(j, LaneBatch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.push(&Job{ID: "b3"}, LaneBatch); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("batch push into full queue: %v, want ErrQueueFull", err)
+	}
+	i1 := &Job{ID: "i1"}
+	displaced, err := s.push(i1, LaneInteractive)
+	if err != nil || displaced != b2 {
+		t.Fatalf("interactive push: displaced=%v err=%v, want b2 (newest batch)", displaced, err)
+	}
+	i2 := &Job{ID: "i2"}
+	displaced, err = s.push(i2, LaneInteractive)
+	if err != nil || displaced != b1 {
+		t.Fatalf("second interactive push: displaced=%v err=%v, want b1", displaced, err)
+	}
+	if _, err := s.push(&Job{ID: "i3"}, LaneInteractive); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("interactive push with nothing below: %v, want ErrQueueFull", err)
+	}
+	if d := s.depth(); d != 2 {
+		t.Errorf("depth after displacement = %d, want 2", d)
+	}
+	for _, want := range []*Job{i1, i2} {
+		if j, ok := s.pop(); !ok || j != want {
+			t.Fatalf("pop = %v, want %s", j, want.ID)
+		}
+	}
+}
+
+// TestQuotaRaceAdmitsExactly is the satellite race test: N concurrent
+// submissions by one client racing a MaxActive quota admit exactly
+// MaxActive jobs, and cancelling an admitted job hands its slot back.
+func TestQuotaRaceAdmitsExactly(t *testing.T) {
+	for _, maxActive := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("max-active-%d", maxActive), func(t *testing.T) {
+			fb := &fakeBackend{gate: make(chan struct{})}
+			m := NewManager(Options{
+				System:  system(),
+				Backend: fb,
+				Tenants: TenantsConfig{Clients: map[string]TenantConfig{"key:q": {MaxActive: maxActive}}},
+			})
+
+			const n = 8
+			jobs := make([]*Job, n)
+			errs := make([]error, n)
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					jobs[i], _, errs[i] = m.SubmitAs("key:q", smallSpec(int64(100+i)))
+				}(i)
+			}
+			wg.Wait()
+
+			var admitted []*Job
+			denied := 0
+			for i := range jobs {
+				switch {
+				case errs[i] == nil:
+					admitted = append(admitted, jobs[i])
+				case errors.Is(errs[i], ErrQuotaExceeded):
+					denied++
+					var ov *OverloadError
+					if !errors.As(errs[i], &ov) || ov.RetryAfter < time.Second {
+						t.Errorf("quota refusal without usable Retry-After: %v", errs[i])
+					}
+				default:
+					t.Errorf("submit %d: unexpected error %v", i, errs[i])
+				}
+			}
+			if len(admitted) != maxActive || denied != n-maxActive {
+				t.Fatalf("admitted=%d denied=%d, want %d/%d", len(admitted), denied, maxActive, n-maxActive)
+			}
+			if st := m.Stats(); st.QuotaDenied != int64(denied) {
+				t.Errorf("Stats.QuotaDenied = %d, want %d", st.QuotaDenied, denied)
+			}
+
+			// Cancelling one admitted job releases its slot immediately.
+			if ok, err := m.Cancel(admitted[0].ID); err != nil || !ok {
+				t.Fatalf("cancel admitted: ok=%v err=%v", ok, err)
+			}
+			waitDone(t, m, admitted[0].ID)
+			if _, _, err := m.SubmitAs("key:q", smallSpec(999)); err != nil {
+				t.Fatalf("submit after cancel still refused: %v", err)
+			}
+
+			close(fb.gate)
+			m.Shutdown(context.Background())
+		})
+	}
+}
+
+// TestCancelQueuedReleasesAdmission is the S1 regression: DELETE of a
+// still-queued job frees both its queue slot and its tenant quota slot
+// right away, not at job eviction.
+func TestCancelQueuedReleasesAdmission(t *testing.T) {
+	fb := &fakeBackend{gate: make(chan struct{})}
+	m := NewManager(Options{
+		System: system(), Backend: fb, Parallel: 1, QueueCap: 1,
+		Tenants: TenantsConfig{Clients: map[string]TenantConfig{"key:a": {MaxActive: 1}}},
+	})
+	defer func() {
+		close(fb.gate)
+		m.Shutdown(context.Background())
+	}()
+
+	// Occupy the single runner with another client's job, then fill the
+	// queue and the quota with client a's job.
+	blocker, _, err := m.SubmitAs("key:b", smallSpec(201))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m, blocker.ID)
+	queued, _, err := m.SubmitAs("key:a", smallSpec(202))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.SubmitAs("key:a", smallSpec(203)); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota submit: %v, want ErrQuotaExceeded", err)
+	}
+	if _, _, err := m.SubmitAs("key:b", smallSpec(204)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full-queue submit: %v, want ErrQueueFull", err)
+	}
+
+	if ok, err := m.Cancel(queued.ID); err != nil || !ok {
+		t.Fatalf("cancel queued: ok=%v err=%v", ok, err)
+	}
+	if st := waitDone(t, m, queued.ID); st.State != StateCanceled {
+		t.Fatalf("cancelled queued job state = %s", st.State)
+	}
+	// Both the quota slot and the queue slot must be free immediately.
+	if _, _, err := m.SubmitAs("key:a", smallSpec(203)); err != nil {
+		t.Fatalf("submit after queued cancel (quota slot): %v", err)
+	}
+}
+
+// fakeClock is a mutex-guarded manual clock for Options.Now; the
+// manager reads it from runner goroutines too, so a bare variable would
+// race.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestRateLimitTokenBucket drives the per-client token bucket with a
+// fake clock: burst admits back-to-back submissions, the next one is
+// refused with Retry-After advice, time refills the bucket, and deduped
+// submissions still cost a token.
+func TestRateLimitTokenBucket(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	m := NewManager(Options{
+		System: system(), Backend: &fakeBackend{}, Now: clock.now,
+		Tenants: TenantsConfig{Default: TenantConfig{Rate: 1, Burst: 2}},
+	})
+	defer m.Shutdown(context.Background())
+
+	first, _, err := m.SubmitAs("key:r", smallSpec(301))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.SubmitAs("key:r", smallSpec(302)); err != nil {
+		t.Fatalf("second burst submit: %v", err)
+	}
+	_, _, err = m.SubmitAs("key:r", smallSpec(303))
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("post-burst submit: %v, want ErrRateLimited", err)
+	}
+	var ov *OverloadError
+	if !errors.As(err, &ov) || ov.RetryAfter < time.Second || ov.RetryAfter > 2*time.Second {
+		t.Errorf("rate refusal Retry-After = %v, want ~1s", err)
+	}
+
+	// One second accrues one token.
+	clock.advance(1100 * time.Millisecond)
+	if _, _, err := m.SubmitAs("key:r", smallSpec(303)); err != nil {
+		t.Fatalf("submit after refill: %v", err)
+	}
+
+	// A duplicate of the first spec dedups — but still spends a token:
+	// the next unique submission finds the bucket empty again.
+	clock.advance(1100 * time.Millisecond)
+	if j, deduped, err := m.SubmitAs("key:r", smallSpec(301)); err != nil || !deduped || j.ID != first.ID {
+		t.Fatalf("deduped resubmit: job=%v deduped=%v err=%v", j, deduped, err)
+	}
+	if _, _, err := m.SubmitAs("key:r", smallSpec(304)); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("submit after token-costing dedup: %v, want ErrRateLimited", err)
+	}
+	if st := m.Stats(); st.RateLimited != 2 {
+		t.Errorf("Stats.RateLimited = %d, want 2", st.RateLimited)
+	}
+
+	// Other clients have their own buckets.
+	if _, _, err := m.SubmitAs("key:other", smallSpec(305)); err != nil {
+		t.Fatalf("other client affected by r's bucket: %v", err)
+	}
+}
+
+// TestPriorityDedupAndPromotion pins the dedup-versus-priority
+// interplay: priority is excluded from the fingerprint, and an
+// interactive duplicate of a queued batch job promotes it into the
+// interactive lane.
+func TestPriorityDedupAndPromotion(t *testing.T) {
+	hi := smallSpec(1)
+	hi.Priority = LaneInteractive
+	lo := smallSpec(1) // defaults to batch
+	chi, err := hi.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clo, err := lo.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi.Priority != LaneInteractive || clo.Priority != LaneBatch {
+		t.Fatalf("canonical priorities = %q/%q", chi.Priority, clo.Priority)
+	}
+	if chi.Fingerprint("sysfp") != clo.Fingerprint("sysfp") {
+		t.Error("priority leaked into the dedup fingerprint")
+	}
+	bad := smallSpec(1)
+	bad.Priority = "vip"
+	if _, err := bad.Canonicalize(); err == nil {
+		t.Error("unknown priority accepted")
+	}
+
+	fb := &fakeBackend{gate: make(chan struct{})}
+	m := NewManager(Options{System: system(), Backend: fb, Parallel: 1})
+	defer func() {
+		close(fb.gate)
+		m.Shutdown(context.Background())
+	}()
+
+	blocker, _, err := m.SubmitAs("key:x", smallSpec(401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m, blocker.ID) // the runner must hold it before 402 queues
+	queued, _, err := m.SubmitAs("key:x", smallSpec(402))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.Status(queued.ID); st.Lane != LaneBatch {
+		t.Fatalf("queued job lane = %q, want batch", st.Lane)
+	}
+	promo := smallSpec(402)
+	promo.Priority = LaneInteractive
+	j, deduped, err := m.SubmitAs("key:y", promo)
+	if err != nil || !deduped || j.ID != queued.ID {
+		t.Fatalf("interactive duplicate: job=%v deduped=%v err=%v, want dedup onto %s", j, deduped, err, queued.ID)
+	}
+	if st, _ := m.Status(queued.ID); st.Lane != LaneInteractive {
+		t.Errorf("deduped job lane = %q, want promoted to interactive", st.Lane)
+	}
+	for _, l := range m.Lanes() {
+		if l.Name == LaneInteractive && l.Depth != 1 {
+			t.Errorf("interactive lane depth = %d after promotion, want 1", l.Depth)
+		}
+		if l.Name == LaneBatch && l.Depth != 0 {
+			t.Errorf("batch lane depth = %d after promotion, want 0", l.Depth)
+		}
+	}
+}
+
+// TestAdmissionHTTP walks the overload surface over the wire: 429 plus
+// a Retry-After header for rate-limit and queue-full refusals, honest
+// shed reporting for a displaced batch job, and DELETE of a queued job
+// freeing its slot for the next submission.
+func TestAdmissionHTTP(t *testing.T) {
+	fb := &fakeBackend{gate: make(chan struct{})}
+	m := NewManager(Options{
+		System: system(), Backend: fb, Parallel: 1, QueueCap: 1,
+		Tenants: TenantsConfig{Clients: map[string]TenantConfig{"key:rl": {Rate: 0.5, Burst: 1}}},
+	})
+	gateOpen := false
+	defer func() {
+		if !gateOpen {
+			close(fb.gate)
+		}
+		m.Shutdown(context.Background())
+	}()
+	ts := httptest.NewServer(Handler(m))
+	defer ts.Close()
+
+	post := func(apiKey string, spec JobSpec) (*http.Response, SubmitResponse, string) {
+		t.Helper()
+		blob, _ := json.Marshal(spec)
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(blob))
+		req.Header.Set("Content-Type", "application/json")
+		if apiKey != "" {
+			req.Header.Set("X-API-Key", apiKey)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var sr SubmitResponse
+		json.Unmarshal(body, &sr)
+		return resp, sr, string(body)
+	}
+
+	// The rate-limited tenant gets one burst token; the second request
+	// must answer 429 with Retry-After ≈ 1/rate.
+	resp, firstRl, _ := post("rl", smallSpec(501))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first rl submit status = %s", resp.Status)
+	}
+	waitRunning(t, m, firstRl.ID) // it must occupy the runner, not the queue
+	resp, _, body := post("rl", smallSpec(502))
+	if resp.StatusCode != http.StatusTooManyRequests || !strings.Contains(body, "rate limit") {
+		t.Fatalf("second rl submit = %s %q, want 429 rate limit", resp.Status, body)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("rate-limit Retry-After = %q, want whole seconds >= 1", resp.Header.Get("Retry-After"))
+	}
+
+	// Fill the queue (the rl job occupies the runner), then overflow it.
+	resp, queuedBatch, _ := post("", smallSpec(503))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue-filling submit status = %s", resp.Status)
+	}
+	resp, _, body = post("", smallSpec(504))
+	if resp.StatusCode != http.StatusTooManyRequests || !strings.Contains(body, "queue full") {
+		t.Fatalf("overflow submit = %s %q, want 429 queue full", resp.Status, body)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("queue-full Retry-After = %q, want whole seconds >= 1", resp.Header.Get("Retry-After"))
+	}
+
+	// An interactive arrival displaces the queued batch job, which goes
+	// terminal with an honest shed cause — never silently lost.
+	hi := smallSpec(505)
+	hi.Priority = LaneInteractive
+	resp, queuedHi, _ := post("", hi)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("displacing interactive submit status = %s", resp.Status)
+	}
+	st, err := m.Status(queuedBatch.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled || !strings.HasPrefix(st.Error, "shed:") {
+		t.Fatalf("displaced job state=%s err=%q, want canceled with shed cause", st.State, st.Error)
+	}
+	if stats := m.Stats(); stats.Displaced != 1 {
+		t.Errorf("Stats.Displaced = %d, want 1", stats.Displaced)
+	}
+
+	// DELETE of the queued interactive job frees the slot immediately.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queuedHi.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued status = %s", dresp.Status)
+	}
+	resp, _, _ = post("", smallSpec(506))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after queued DELETE = %s, want 202 (slot freed)", resp.Status)
+	}
+
+	// Stats advertise the lanes and current Retry-After advice.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	json.NewDecoder(sresp.Body).Decode(&stats)
+	sresp.Body.Close()
+	if len(stats.Lanes) != 2 || stats.RetryAfterSec < 1 {
+		t.Errorf("stats lanes/retry = %+v", stats)
+	}
+
+	close(fb.gate)
+	gateOpen = true
+}
+
+// TestShutdownReleasesWaiters is the S2 regression: a Shutdown that is
+// still draining (a job is mid-run) must release blocked long-polls and
+// SSE streams immediately rather than holding them to client timeouts.
+func TestShutdownReleasesWaiters(t *testing.T) {
+	fb := &fakeBackend{gate: make(chan struct{})}
+	m := NewManager(Options{System: system(), Backend: fb})
+	ts := httptest.NewServer(Handler(m))
+	defer ts.Close()
+
+	j, _, err := m.Submit(smallSpec(601))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	released := make(chan string, 3)
+	go func() { // in-process long wait
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		m.Wait(ctx, j.ID)
+		released <- "wait"
+	}()
+	go func() { // HTTP long-poll
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "?wait=60s")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		released <- "long-poll"
+	}()
+	go func() { // SSE stream
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		released <- "sse"
+	}()
+	time.Sleep(100 * time.Millisecond) // let all three block on the running job
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		m.Shutdown(context.Background())
+		close(shutdownDone)
+	}()
+
+	for i := 0; i < 3; i++ {
+		select {
+		case <-released:
+		case <-time.After(10 * time.Second):
+			t.Fatal("waiter still blocked 10s into the drain")
+		}
+	}
+	select {
+	case <-shutdownDone:
+		t.Fatal("shutdown finished while the backend was still gated")
+	default:
+	}
+
+	close(fb.gate) // let the drain complete
+	select {
+	case <-shutdownDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown did not finish after the backend unblocked")
+	}
+	if st, _ := m.Status(j.ID); st.State != StateDone {
+		t.Errorf("drained job state = %s, want done", st.State)
+	}
+}

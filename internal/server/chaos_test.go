@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+)
+
+// TestChaosBackendFailureMarksFailed drives a flaky backend: an
+// injected fault mid-run marks the job failed with the injected cause,
+// the failure does not satisfy dedup, and stats count it honestly.
+func TestChaosBackendFailureMarksFailed(t *testing.T) {
+	chaos := &ChaosBackend{Inner: &fakeBackend{}, FailEvery: 2}
+	m := NewManager(Options{System: system(), Backend: chaos})
+	defer m.Shutdown(context.Background())
+
+	// Run 1 (doomed: FailEvery=2 dooms runs 2, 4, ... — run 1 survives).
+	ok1, _, err := m.Submit(smallSpec(701))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, m, ok1.ID); st.State != StateDone {
+		t.Fatalf("run 1 state = %s (%s), want done", st.State, st.Error)
+	}
+	// Run 2 is doomed.
+	bad, _, err := m.Submit(smallSpec(702))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, m, bad.ID)
+	if st.State != StateFailed {
+		t.Fatalf("doomed run state = %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, ErrInjected.Error()) {
+		t.Errorf("failure cause %q does not carry the injected fault", st.Error)
+	}
+	if _, err := m.Result(bad.ID); err == nil {
+		t.Error("failed job served a result")
+	}
+	// A failed fingerprint must not satisfy dedup: the resubmission is a
+	// fresh job (run 3, which survives).
+	retry, deduped, err := m.Submit(smallSpec(702))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped || retry.ID == bad.ID {
+		t.Fatalf("resubmit after failure deduped onto the dead job %s", bad.ID)
+	}
+	if st := waitDone(t, m, retry.ID); st.State != StateDone {
+		t.Fatalf("resubmitted run state = %s (%s), want done", st.State, st.Error)
+	}
+	if got := m.Stats(); got.Failed != 1 || got.Done != 2 {
+		t.Errorf("stats = %+v, want Failed=1 Done=2", got)
+	}
+	if chaos.Runs() != 3 {
+		t.Errorf("backend saw %d runs, want 3", chaos.Runs())
+	}
+}
+
+// TestChaosMidGridFailureResumesFromStore is the S4 headline: a real
+// grid run killed mid-grid leaves the artifact store uncorrupted with a
+// genuine partial checkpoint, and a healthy daemon over the same store
+// completes the same job from the cached cells.
+func TestChaosMidGridFailureResumesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	spec := smallSpec(77) // two grid points
+
+	// Pass 1: the chaos backend aborts the grid after one completed
+	// point, exactly like a worker dying mid-run.
+	store1, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys1 := core.New(testConfig())
+	sys1.AttachStore(store1)
+	chaos := &ChaosBackend{
+		Inner:           GridBackend{System: sys1, Store: store1},
+		FailEvery:       1,
+		FailAfterPoints: 1,
+	}
+	m1 := NewManager(Options{System: sys1, Store: store1, Backend: chaos})
+	j, _, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, m1, j.ID)
+	if st.State != StateFailed {
+		t.Fatalf("chaos run state = %s (%s), want failed", st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, ErrInjected.Error()) {
+		t.Errorf("chaos run cause %q does not carry the injected fault", st.Error)
+	}
+	m1.Shutdown(context.Background())
+
+	// Pass 2: a fresh daemon with a healthy backend over the same store.
+	// The job must complete, serving the checkpointed prefix from cache —
+	// proof the mid-grid failure corrupted nothing.
+	store2, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := core.New(testConfig())
+	sys2.AttachStore(store2)
+	m2 := NewManager(Options{System: sys2, Store: store2})
+	defer m2.Shutdown(context.Background())
+	j2, deduped, err := m2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped {
+		t.Fatal("fresh daemon reported in-memory dedup")
+	}
+	st2 := waitDone(t, m2, j2.ID)
+	if st2.State != StateDone {
+		t.Fatalf("warm resubmit state = %s (%s), want done", st2.State, st2.Error)
+	}
+	if st2.Cells != 2 {
+		t.Fatalf("warm resubmit cells = %d, want 2", st2.Cells)
+	}
+	if st2.CachedCells < 1 {
+		t.Errorf("warm resubmit served %d cached cells, want the checkpointed prefix (>=1)", st2.CachedCells)
+	}
+	if _, err := m2.Result(j2.ID); err != nil {
+		t.Errorf("warm resubmit result: %v", err)
+	}
+}
+
+// TestChaosSlowBackendCancel pins that a slow backend stays cancellable:
+// the injected delay is context-aware, so a cancel lands immediately.
+func TestChaosSlowBackendCancel(t *testing.T) {
+	chaos := &ChaosBackend{Inner: &fakeBackend{}, Delay: time.Hour}
+	m := NewManager(Options{System: system(), Backend: chaos})
+	defer m.Shutdown(context.Background())
+
+	j, _, err := m.Submit(smallSpec(703))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m, j.ID)
+	start := time.Now()
+	if ok, err := m.Cancel(j.ID); err != nil || !ok {
+		t.Fatalf("cancel: ok=%v err=%v", ok, err)
+	}
+	st := waitDone(t, m, j.ID)
+	if st.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Errorf("cancel of a delayed run took %s", waited)
+	}
+}

@@ -7,8 +7,13 @@
 //	GET    /v1/jobs/{id}/result finished result, JSON or CSV (?format= / Accept)
 //	GET    /v1/jobs/{id}/events SSE progress stream, terminal event closes it
 //	DELETE /v1/jobs/{id}        cancel
-//	GET    /v1/stats            manager counters + system/store cache traffic
+//	GET    /v1/stats            manager/lane counters + system/store cache traffic
 //	GET    /v1/healthz          liveness
+//
+// Clients identify themselves with an X-API-Key header (falling back to
+// the remote address, see ClientID); admission refusals — rate limit,
+// quota, shed — answer 429 with a Retry-After header derived from queue
+// depth and observed throughput.
 package server
 
 import (
@@ -17,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,6 +42,12 @@ type SubmitResponse struct {
 // StatsResponse answers GET /v1/stats.
 type StatsResponse struct {
 	Jobs Stats `json:"jobs"`
+	// Lanes is the scheduler snapshot: per-lane depth, bounds, weights
+	// and shed counts, priority order.
+	Lanes []LaneStatus `json:"lanes"`
+	// RetryAfterSec is the current overload advice — what a shed request
+	// would be told right now.
+	RetryAfterSec int `json:"retry_after_sec"`
 	// Cache is the system's cache-traffic summary (characterizations,
 	// golden traces, hazard tables), the same line the CLI tools print.
 	Cache string `json:"cache"`
@@ -81,7 +93,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
+	var ov *OverloadError
 	switch {
+	case errors.As(err, &ov):
+		// Admission refusal: shed, rate-limited or over quota. 429 plus
+		// the manager's Retry-After advice in whole seconds (ceiling —
+		// never optimistic).
+		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(ov.RetryAfter)))
+		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
@@ -104,9 +123,10 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decode spec: %v", err)})
 		return
 	}
-	j, deduped, err := m.Submit(spec)
+	var ov *OverloadError
+	j, deduped, err := m.SubmitAs(ClientID(r), spec)
 	if err != nil {
-		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) {
+		if errors.As(err, &ov) || errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) {
 			writeError(w, err)
 		} else {
 			// Canonicalization errors are client errors.
@@ -187,7 +207,12 @@ func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {
 }
 
 func handleStats(m *Manager, w http.ResponseWriter) {
-	resp := StatsResponse{Jobs: m.Stats(), Cache: m.System().CacheSummary()}
+	resp := StatsResponse{
+		Jobs:          m.Stats(),
+		Lanes:         m.Lanes(),
+		RetryAfterSec: ceilSeconds(m.RetryAfter()),
+		Cache:         m.System().CacheSummary(),
+	}
 	if st := m.System().ArtifactStore(); st != nil {
 		s := st.Stats()
 		resp.Store = &storeStats{Hits: s.Hits, Misses: s.Misses, Puts: s.Puts}
@@ -253,6 +278,11 @@ func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 			}
 			emit("progress", p)
 		case <-r.Context().Done():
+			return
+		case <-m.Closing():
+			// The daemon is draining: end the stream now instead of
+			// holding http.Server.Shutdown hostage to this client. The
+			// job may still finish; a reconnect (or the store) has it.
 			return
 		}
 	}

@@ -1,0 +1,271 @@
+// Priority-lane admission and dispatch. The scheduler replaces the
+// single FIFO job channel of the first service iteration with a small
+// fixed set of bounded lanes ("interactive" ahead of "batch"), a smooth
+// weighted-round-robin dequeue so a batch flood cannot starve
+// interactive work (and sustained interactive load cannot fully starve
+// batch), and load-shedding that rejects — or, for an interactive
+// arrival against a full global queue, displaces — the lowest-priority
+// work first. The scheduler owns only queued jobs and its own mutex;
+// the Manager layers job lifecycle, quotas and Retry-After estimation
+// on top (lock order: Manager.mu, then scheduler.mu — pop blocks
+// without the manager lock).
+
+package server
+
+import (
+	"sync"
+)
+
+// Lane names, highest priority first. The set is fixed: two lanes keep
+// the admission story explainable (shed batch first, always) while the
+// scheduler itself is written against a list and would take more.
+const (
+	LaneInteractive = "interactive"
+	LaneBatch       = "batch"
+)
+
+// LaneConfig bounds and weights one scheduling lane.
+type LaneConfig struct {
+	// Cap bounds jobs queued in this lane (default: the manager's
+	// QueueCap, i.e. no stricter than the global bound).
+	Cap int
+	// Weight is the lane's share of the weighted-round-robin dequeue
+	// (defaults: interactive 4, batch 1 — four interactive dequeues per
+	// batch dequeue while both lanes are backlogged).
+	Weight int
+}
+
+// laneState is one lane's queue plus its smooth-WRR credit counter.
+type laneState struct {
+	name    string
+	cap     int
+	weight  int
+	queue   []*Job
+	credit  int
+	shed    int64 // admissions rejected because this lane (or the global queue) was full
+	dequeue int64 // jobs handed to runners from this lane
+}
+
+// scheduler is the bounded, prioritized successor of the job channel.
+type scheduler struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	lanes     []*laneState // priority order: lanes[0] is served first under equal credit
+	globalCap int
+	closed    bool
+}
+
+func newScheduler(globalCap int, cfgs map[string]LaneConfig) *scheduler {
+	s := &scheduler{globalCap: globalCap}
+	s.cond = sync.NewCond(&s.mu)
+	defaults := []struct {
+		name   string
+		weight int
+	}{{LaneInteractive, 4}, {LaneBatch, 1}}
+	for _, d := range defaults {
+		l := &laneState{name: d.name, cap: globalCap, weight: d.weight}
+		if c, ok := cfgs[d.name]; ok {
+			if c.Cap > 0 {
+				l.cap = c.Cap
+			}
+			if c.Weight > 0 {
+				l.weight = c.Weight
+			}
+		}
+		s.lanes = append(s.lanes, l)
+	}
+	return s
+}
+
+func (s *scheduler) lane(name string) *laneState {
+	for _, l := range s.lanes {
+		if l.name == name {
+			return l
+		}
+	}
+	return s.lanes[len(s.lanes)-1]
+}
+
+// depthLocked is the total queued count across lanes. Callers hold mu.
+func (s *scheduler) depthLocked() int {
+	n := 0
+	for _, l := range s.lanes {
+		n += len(l.queue)
+	}
+	return n
+}
+
+// depth is the total queued count across lanes.
+func (s *scheduler) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.depthLocked()
+}
+
+// push admits j into the named lane. It returns errQueueFull when the
+// lane or the global queue is at capacity — except that an interactive
+// arrival against a full global queue displaces the most recently
+// queued job of a lower-priority lane instead: the displaced job is
+// returned for the manager to finalize as shed (honestly terminal, not
+// silently dropped), and j takes its slot. Displacement never crosses
+// upward: batch arrivals are simply rejected.
+func (s *scheduler) push(j *Job, lane string) (displaced *Job, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrDraining
+	}
+	l := s.lane(lane)
+	if len(l.queue) >= l.cap {
+		l.shed++
+		return nil, ErrQueueFull
+	}
+	if s.depthLocked() >= s.globalCap {
+		displaced = s.displaceBelowLocked(l)
+		if displaced == nil {
+			l.shed++
+			return nil, ErrQueueFull
+		}
+	}
+	l.queue = append(l.queue, j)
+	s.cond.Signal()
+	return displaced, nil
+}
+
+// displaceBelowLocked pops the newest queued job from the
+// lowest-priority non-empty lane strictly below l, or nil when every
+// queued job is at or above l's priority.
+func (s *scheduler) displaceBelowLocked(l *laneState) *Job {
+	rank := 0
+	for i, cand := range s.lanes {
+		if cand == l {
+			rank = i
+			break
+		}
+	}
+	for i := len(s.lanes) - 1; i > rank; i-- {
+		victim := s.lanes[i]
+		if n := len(victim.queue); n > 0 {
+			j := victim.queue[n-1]
+			victim.queue = victim.queue[:n-1]
+			victim.shed++
+			return j
+		}
+	}
+	return nil
+}
+
+// pop blocks until a job is available (weighted-round-robin across
+// non-empty lanes, smooth WRR: each round every backlogged lane gains
+// its weight in credit and the richest lane — ties to the
+// higher-priority lane — pays the round's total and dequeues) or the
+// scheduler is closed and fully drained, in which case ok is false.
+// After close, remaining queued jobs are still handed out: drain
+// semantics are the manager's, not the scheduler's.
+func (s *scheduler) pop() (j *Job, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		var best *laneState
+		total := 0
+		for _, l := range s.lanes {
+			if len(l.queue) == 0 {
+				continue
+			}
+			l.credit += l.weight
+			total += l.weight
+			if best == nil || l.credit > best.credit {
+				best = l
+			}
+		}
+		if best != nil {
+			best.credit -= total
+			j := best.queue[0]
+			best.queue = best.queue[1:]
+			best.dequeue++
+			return j, true
+		}
+		// Nothing queued: reset credits so a later burst starts fair
+		// instead of inheriting debt from an idle period.
+		for _, l := range s.lanes {
+			l.credit = 0
+		}
+		if s.closed {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// remove deletes a queued job (cancelled or promoted before dispatch),
+// reporting whether it was found. This is what makes DELETE of a queued
+// job release its queue slot immediately instead of leaving a tombstone
+// for the runner to skip.
+func (s *scheduler) remove(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, l := range s.lanes {
+		for i, q := range l.queue {
+			if q == j {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// promote moves a queued job into a higher-priority lane (dedup of an
+// interactive submission onto a queued batch job). The global job count
+// is unchanged, so the target lane's cap is deliberately not enforced.
+func (s *scheduler) promote(j *Job, lane string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, l := range s.lanes {
+		if l.name == lane {
+			continue
+		}
+		for i, q := range l.queue {
+			if q == j {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				t := s.lane(lane)
+				t.queue = append(t.queue, j)
+				s.cond.Signal()
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// close wakes every popper; queued jobs continue to drain.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}
+
+// LaneStatus is one lane's public snapshot for /v1/stats.
+type LaneStatus struct {
+	Name     string `json:"name"`
+	Depth    int    `json:"depth"`
+	Cap      int    `json:"cap"`
+	Weight   int    `json:"weight"`
+	Shed     int64  `json:"shed"`
+	Dequeued int64  `json:"dequeued"`
+}
+
+// snapshot reports every lane, priority order.
+func (s *scheduler) snapshot() []LaneStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]LaneStatus, 0, len(s.lanes))
+	for _, l := range s.lanes {
+		out = append(out, LaneStatus{
+			Name: l.name, Depth: len(l.queue), Cap: l.cap,
+			Weight: l.weight, Shed: l.shed, Dequeued: l.dequeue,
+		})
+	}
+	return out
+}

@@ -66,6 +66,14 @@ type JobSpec struct {
 	// WatchdogFactor bounds faulty runs at this multiple of the golden
 	// cycle count (default 4).
 	WatchdogFactor float64 `json:"watchdog_factor,omitempty"`
+
+	// Priority selects the scheduling lane: "interactive" or "batch"
+	// (default "batch"). It shapes when the job runs, never what it
+	// computes, so it is deliberately excluded from the dedup
+	// fingerprint: the same experiment submitted at two priorities is
+	// still one execution (and a queued batch job is promoted when an
+	// interactive duplicate arrives).
+	Priority string `json:"priority,omitempty"`
 }
 
 // validKinds are the fault model kinds the core factory instantiates.
@@ -194,6 +202,13 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 	if c.WatchdogFactor > MaxWatchdogFactor || math.IsNaN(c.WatchdogFactor) {
 		return c, fmt.Errorf("watchdog_factor: at most %d", MaxWatchdogFactor)
 	}
+	switch c.Priority {
+	case "", LaneBatch:
+		c.Priority = LaneBatch
+	case LaneInteractive:
+	default:
+		return c, fmt.Errorf("priority: unknown %q (want %s or %s)", c.Priority, LaneInteractive, LaneBatch)
+	}
 	return c, nil
 }
 
@@ -202,7 +217,10 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 // closure the artifact-store cell keys spell out). Jobs dedup on it:
 // equal fingerprints are by construction the same experiment on the
 // same substrate, so they may share one execution and one result.
+// Priority is zeroed before hashing — it affects scheduling, not
+// results, so the same experiment at two priorities must dedup.
 func (s JobSpec) Fingerprint(sysFingerprint string) string {
+	s.Priority = ""
 	blob, err := json.Marshal(s)
 	if err != nil {
 		// A JobSpec is plain data; Marshal cannot fail on it.

@@ -1,0 +1,124 @@
+// Per-client identity, token-bucket rate limits and in-flight quotas —
+// the admission-control half that is about who is submitting rather
+// than what is queued. A client is whatever string the transport hands
+// the manager (the HTTP layer uses the X-API-Key header when present
+// and the remote address host otherwise; in-process callers pass any
+// label, empty meaning "anonymous"). Every client gets the default
+// TenantConfig unless the tenants table carries an override; zero
+// limits mean unlimited, so an unconfigured manager behaves exactly
+// like the pre-admission-control service.
+
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"time"
+)
+
+// TenantConfig is one client's admission limits. The zero value is
+// unlimited on every axis.
+type TenantConfig struct {
+	// Rate is the sustained submission rate in requests per second; 0
+	// disables rate limiting. Every submission costs one token, deduped
+	// submissions included — dedup makes a duplicate cheap to serve, not
+	// free to ask for.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the token-bucket depth (default: Rate rounded up, at
+	// least 1): how many submissions may land back-to-back before the
+	// sustained rate applies.
+	Burst int `json:"burst,omitempty"`
+	// MaxActive bounds the client's live jobs (queued + running); 0
+	// disables the quota. Terminal transitions — done, failed, canceled,
+	// shed, including DELETE of a still-queued job — release the slot
+	// immediately.
+	MaxActive int `json:"max_active,omitempty"`
+}
+
+// TenantsConfig is the admission table a daemon is started with: a
+// default applied to every client plus per-client overrides keyed by
+// client ID ("key:<api-key>" or "addr:<host>", matching ClientID).
+type TenantsConfig struct {
+	Default TenantConfig            `json:"default"`
+	Clients map[string]TenantConfig `json:"clients,omitempty"`
+}
+
+// configFor resolves a client's effective limits.
+func (tc TenantsConfig) configFor(client string) TenantConfig {
+	if c, ok := tc.Clients[client]; ok {
+		return c
+	}
+	return tc.Default
+}
+
+// anonClient labels submissions that arrive with no identity at all
+// (in-process callers); they share one bucket.
+const anonClient = "anonymous"
+
+// ClientID derives the manager-facing client identity of an HTTP
+// request: the X-API-Key header when present (so one tenant keeps its
+// identity across hosts), otherwise the remote address host (so
+// unauthenticated clients are at least separated per machine).
+func ClientID(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil && host != "" {
+		return "addr:" + host
+	}
+	if r.RemoteAddr != "" {
+		return "addr:" + r.RemoteAddr
+	}
+	return anonClient
+}
+
+// tenant is one client's runtime admission state. All fields are
+// guarded by the manager's mutex; the token bucket takes explicit
+// timestamps so tests drive it with a fake clock.
+type tenant struct {
+	id     string
+	tokens float64
+	last   time.Time
+	active int // queued + running jobs
+}
+
+// take attempts to consume one submission token at time now under cfg,
+// refilling lazily since the last call. On refusal it reports how long
+// until a token accrues — the Retry-After the HTTP layer advertises.
+func (t *tenant) take(now time.Time, cfg TenantConfig) (ok bool, retry time.Duration) {
+	if cfg.Rate <= 0 {
+		return true, 0
+	}
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = int(math.Ceil(cfg.Rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	if t.last.IsZero() {
+		// First sighting: a full bucket.
+		t.tokens = float64(burst)
+	} else if dt := now.Sub(t.last).Seconds(); dt > 0 {
+		t.tokens = math.Min(float64(burst), t.tokens+dt*cfg.Rate)
+	}
+	t.last = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return true, 0
+	}
+	need := (1 - t.tokens) / cfg.Rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// tenantLocked returns (creating if needed) the client's runtime state.
+// Callers hold m.mu.
+func (m *Manager) tenantLocked(client string) *tenant {
+	t, ok := m.tenants[client]
+	if !ok {
+		t = &tenant{id: client}
+		m.tenants[client] = t
+	}
+	return t
+}

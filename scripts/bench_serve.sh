@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Tracks the service-layer traffic trajectory: boots a real fisimd with
+# a small queue and a rate-limited batch tenant, drives an open-loop
+# mixed-priority load through cmd/fisimload, and writes the per-lane
+# report (shed counts, time-to-start / time-to-terminal percentiles,
+# throughput, the lost-accepted-jobs invariant) as BENCH_serve.json at
+# the repo root. The batch tenant's rate limit guarantees observable
+# shedding on any machine; a warm-up job pays DTA characterization
+# before the measured window so latencies reflect steady state.
+#
+#   ./scripts/bench_serve.sh                 # defaults below
+#   BATCH_JOBS=120 BATCH_RATE=100 ./scripts/bench_serve.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr="${FISIMD_BENCH_ADDR:-127.0.0.1:18024}"
+batch_rate="${BATCH_RATE:-50}"
+batch_jobs="${BATCH_JOBS:-60}"
+inter_rate="${INTER_RATE:-5}"
+inter_jobs="${INTER_JOBS:-10}"
+trials="${TRIALS:-16}"
+
+work="$(mktemp -d)"
+dlog="$work/fisimd.log"
+cleanup() {
+  if [[ -n "${DPID:-}" ]] && kill -0 "$DPID" 2>/dev/null; then
+    kill -TERM "$DPID" 2>/dev/null || true
+    wait "$DPID" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/fisimd" ./cmd/fisimd
+go build -o "$work/fisimload" ./cmd/fisimload
+
+# The batch tenant is throttled well below its arrival rate, so the
+# daemon must shed; the interactive tenant is unconstrained, so its
+# latency percentiles measure the priority lanes, not a rate limiter.
+cat > "$work/tenants.json" <<EOF
+{"clients": {"key:batch-tenant": {"rate": 8, "burst": 8, "max_active": 8}}}
+EOF
+
+"$work/fisimd" -addr "$addr" -dta 1024 -queue 8 -parallel 1 \
+  -tenants "$work/tenants.json" > "$dlog" 2>&1 & DPID=$!
+for i in $(seq 1 100); do
+  curl -sf "http://$addr/v1/healthz" >/dev/null && break
+  kill -0 "$DPID" 2>/dev/null || { cat "$dlog"; echo "fisimd died"; exit 1; }
+  sleep 0.2
+done
+
+# Warm-up: one interactive job pays characterization / golden recording.
+"$work/fisimload" -addr "http://$addr" \
+  -interactive-rate 1 -interactive-jobs 1 -batch-jobs 0 \
+  -trials "$trials" -seed 1 > /dev/null
+
+# Measured window (fresh seeds so nothing dedups against the warm-up).
+"$work/fisimload" -addr "http://$addr" \
+  -interactive-rate "$inter_rate" -interactive-jobs "$inter_jobs" \
+  -batch-rate "$batch_rate" -batch-jobs "$batch_jobs" \
+  -trials "$trials" -seed 500 -o BENCH_serve.json
+
+kill -TERM "$DPID"; wait "$DPID" || true; DPID=""
+grep -E 'draining|cache:' "$dlog" || true
+echo "wrote BENCH_serve.json"
