@@ -288,6 +288,55 @@ func BenchmarkPointFull(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Batched-execution benches on a faulting-heavy above-PoFF model-C
+// point of the two-phase checksum kernel, where ~95% of trials fork
+// thousands of cycles past the last checkpoint: the batched default
+// (order-statistics planning plus shared-prefix walkers) against the
+// per-trial first-fault path (checkpoint restore and golden replay per
+// trial). Workers is pinned so the committed BENCH_batch.json numbers
+// are comparable across machines of different widths. Acceptance bar:
+// batched >= 5x over per-trial first-fault (scripts/bench_batch.sh
+// asserts it in CI from a fresh run).
+
+func batchBenchSpec() mc.Spec {
+	return mc.Spec{
+		System:  benchSystem(),
+		Bench:   bench.Checksum(),
+		Model:   core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010},
+		Trials:  200,
+		Workers: 4,
+		Seed:    1,
+	}
+}
+
+func BenchmarkChecksumBatched(b *testing.B) {
+	spec := batchBenchSpec()
+	if _, err := mc.Run(spec, 840); err != nil { // warm golden + hazard caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Run(spec, 840); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChecksumFirstFault(b *testing.B) {
+	spec := batchBenchSpec()
+	spec.Mode = mc.ModeFirstFault
+	if _, err := mc.Run(spec, 840); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Run(spec, 840); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGridWarmVsCold measures the artifact store's warm-start win:
 // Cold builds a fresh system and an empty cache directory per iteration
 // (paying DTA characterization, golden-trace recording, and every

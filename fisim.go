@@ -84,9 +84,10 @@ const (
 // available (the default), the exact golden-trace replay scan, or full
 // per-trial ISS execution.
 const (
-	ModeAuto = mc.ModeAuto
-	ModeScan = mc.ModeScan
-	ModeFull = mc.ModeFull
+	ModeAuto       = mc.ModeAuto
+	ModeScan       = mc.ModeScan
+	ModeFull       = mc.ModeFull
+	ModeFirstFault = mc.ModeFirstFault
 )
 
 // DefaultConfig returns the paper's case-study parameters (28 nm core,

@@ -72,9 +72,16 @@ func Micros() []*Benchmark {
 	return []*Benchmark{MicroAdd16(), MicroAdd32(), MicroMul16()}
 }
 
-// ByName finds a benchmark among All and Micros.
+// Extras returns kernels outside the paper's tables: stress and
+// harness workloads reachable by name only.
+func Extras() []*Benchmark {
+	return []*Benchmark{Checksum()}
+}
+
+// ByName finds a benchmark among All, Micros and Extras.
 func ByName(name string) (*Benchmark, error) {
-	for _, b := range append(All(), Micros()...) {
+	all := append(append(All(), Micros()...), Extras()...)
+	for _, b := range all {
 		if b.Name == name {
 			return b, nil
 		}

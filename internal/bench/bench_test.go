@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cpu"
+	"repro/internal/isa"
 	"repro/internal/mem"
 )
 
@@ -37,7 +38,7 @@ func runGolden(t *testing.T, b *Benchmark, seed int64) (*cpu.CPU, []uint32, []ui
 }
 
 func TestAllBenchmarksMatchGolden(t *testing.T) {
-	for _, b := range append(All(), Micros()...) {
+	for _, b := range append(append(All(), Micros()...), Extras()...) {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
 			c, got, want := runGolden(t, b, 42)
@@ -154,6 +155,66 @@ func TestMetrics(t *testing.T) {
 	}
 	if got := MismatchPct([]uint32{1, 2, 3, 4}, []uint32{1, 0, 3, 0}); got != 50 {
 		t.Errorf("mismatch = %v, want 50", got)
+	}
+}
+
+// TestChecksumPhases pins the checksum kernel's two-phase shape: the
+// trailing fold is the only source of adder/comparator queries, it is
+// short, and it starts thousands of cycles past the last checkpoint
+// boundary — the geometry the batched-execution benchmark relies on.
+func TestChecksumPhases(t *testing.T) {
+	b := Checksum()
+	src, _, err := b.Build(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	c := cpu.New(m, nil, cpu.DefaultConfig())
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	tr := c.StartTrace(0)
+	c.SetWatchdog(50_000_000)
+	if st := c.Run(); st != cpu.StatusExited {
+		t.Fatalf("status %v after %d cycles", st, c.Cycles)
+	}
+	var firstAdd, lastQuery int
+	for i, ev := range tr.Events {
+		switch ev.Op {
+		case isa.OpAdd, isa.OpAddi, isa.OpSub:
+			if firstAdd == 0 {
+				firstAdd = i
+			}
+		case isa.OpXor, isa.OpSlli, isa.OpSrli, isa.OpOr:
+		default:
+			if !isa.IsCompare(ev.Op) {
+				t.Fatalf("unexpected query op %v at %d", ev.Op, i)
+			}
+			if firstAdd == 0 {
+				t.Fatalf("compare query at %d before the fold phase", i)
+			}
+		}
+		lastQuery = i
+	}
+	if firstAdd == 0 {
+		t.Fatal("no adder queries recorded")
+	}
+	// All low-onset queries live in the trailing fold phase...
+	if frac := float64(lastQuery-firstAdd) / float64(len(tr.Events)); frac > 0.15 {
+		t.Errorf("fold phase spans %.0f%% of the queries, want a short tail", frac*100)
+	}
+	// ...which starts well past the last checkpoint before it.
+	cp := tr.CheckpointBefore(firstAdd)
+	if cp.EventIndex == 0 && len(tr.Checkpoints) > 1 {
+		t.Errorf("fold phase not past the first checkpoint boundary (ckpt event %d, fold at %d)",
+			cp.EventIndex, firstAdd)
+	}
+	if gap := firstAdd - cp.EventIndex; gap < 1000 {
+		t.Errorf("fold starts only %d queries past its checkpoint; want a long shared prefix", gap)
 	}
 }
 

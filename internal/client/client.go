@@ -18,6 +18,8 @@ package client
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -26,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -105,10 +108,31 @@ func New(cfg Config) *Client {
 	}
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = time.Now().UnixNano()
+		seed = entropySeed()
 	}
 	cfg.Base = strings.TrimRight(cfg.Base, "/")
 	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// seedCounter desynchronizes the clock-based fallback seed: clients
+// built in the same nanosecond (a process fanning out workers, or many
+// processes started by one orchestrator on a coarse clock) must not
+// share a jitter stream, or their retries arrive as the synchronized
+// herd the jitter exists to break up.
+var seedCounter atomic.Uint64
+
+// entropySeed draws a jitter seed from the OS entropy pool, falling
+// back to the clock mixed with a per-process counter through a
+// SplitMix64 step when the pool is unreadable.
+func entropySeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return int64(binary.LittleEndian.Uint64(b[:]))
+	}
+	z := uint64(time.Now().UnixNano()) + seedCounter.Add(1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // APIError is a non-2xx daemon answer that was not retried away:
@@ -141,31 +165,47 @@ func retryable(code int) bool {
 }
 
 // backoff computes the jittered exponential delay for attempt (0-based)
-// honoring a server Retry-After hint: the hint replaces the exponential
-// term when it is larger, and jitter (±25%) applies either way so a
-// thundering herd told "Retry-After: 2" does not return as one.
+// honoring a server Retry-After hint as a floor: the exponential term
+// jitters ±25% as usual, but the returned delay is never below the
+// advertised wait — a client that comes back early lands in the same
+// overload that sent it away, wasting an attempt. The floor itself
+// jitters upward only (up to +25%) so a thundering herd told
+// "Retry-After: 2" still does not return as one.
 func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	d := c.cfg.BaseDelay << attempt
 	if d > c.cfg.MaxDelay || d <= 0 {
 		d = c.cfg.MaxDelay
 	}
-	if retryAfter > d {
-		d = retryAfter
-	}
 	c.mu.Lock()
-	f := 0.75 + 0.5*c.rng.Float64()
+	f := c.rng.Float64()
 	c.mu.Unlock()
-	return time.Duration(float64(d) * f)
+	jd := time.Duration(float64(d) * (0.75 + 0.5*f))
+	if retryAfter > 0 {
+		if floor := retryAfter + time.Duration(float64(retryAfter)*0.25*f); jd < floor {
+			jd = floor
+		}
+	}
+	return jd
 }
 
-// parseRetryAfter reads a Retry-After header in delta-seconds form (the
-// only form fisimd emits); anything else yields 0.
-func parseRetryAfter(h string) time.Duration {
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delta-seconds (the form fisimd emits) or an HTTP-date, evaluated
+// against now. Anything else — including dates already in the past —
+// yields 0, meaning "no hint".
+func parseRetryAfter(h string, now time.Time) time.Duration {
 	if h == "" {
 		return 0
 	}
-	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
 		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
 	}
 	return 0
 }
@@ -235,7 +275,7 @@ func drainError(resp *http.Response) *APIError {
 	} else {
 		e.Message = string(bytes.TrimSpace(body))
 	}
-	if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+	if ra := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ra > 0 {
 		e.retryAfter = ra
 	}
 	return e

@@ -29,22 +29,35 @@ func TestRetryableCodes(t *testing.T) {
 }
 
 func TestParseRetryAfter(t *testing.T) {
-	for h, want := range map[string]time.Duration{
-		"":     0,
-		"3":    3 * time.Second,
-		"0":    0,
-		"-1":   0,
-		"soon": 0, // HTTP-date form is not emitted by fisimd; treated as absent
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		h    string
+		want time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{"0", 0},
+		{"-1", 0},
+		{"soon", 0},
+		// RFC 9110 HTTP-date, all three accepted formats.
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(2 * time.Minute).Format(time.RFC850), 2 * time.Minute},
+		{now.Add(30 * time.Second).Format(time.ANSIC), 30 * time.Second},
+		// Dates in the past (or right now) carry no usable wait.
+		{now.Format(http.TimeFormat), 0},
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		// A date in a non-HTTP format is not a hint.
+		{now.Add(time.Minute).Format(time.RFC3339), 0},
 	} {
-		if got := parseRetryAfter(h); got != want {
-			t.Errorf("parseRetryAfter(%q) = %v, want %v", h, got, want)
+		if got := parseRetryAfter(tc.h, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.h, got, tc.want)
 		}
 	}
 }
 
 // TestBackoff pins the delay discipline: exponential growth from
-// BaseDelay, a MaxDelay cap, a server Retry-After hint overriding the
-// computed delay when larger, and ±25% jitter either way.
+// BaseDelay, a MaxDelay cap, ±25% jitter on the exponential term, and a
+// server Retry-After hint acting as a floor with upward-only jitter.
 func TestBackoff(t *testing.T) {
 	c := New(Config{Base: "http://x", BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Seed: 1})
 	within := func(name string, d, lo, hi time.Duration) {
@@ -58,10 +71,54 @@ func TestBackoff(t *testing.T) {
 	within("attempt2", c.backoff(2, 0), 300*time.Millisecond, 500*time.Millisecond)
 	// Cap: a huge attempt collapses to MaxDelay.
 	within("capped", c.backoff(40, 0), 1500*time.Millisecond, 2500*time.Millisecond)
-	// A server hint above the exponential term wins...
-	within("hinted", c.backoff(0, time.Second), 750*time.Millisecond, 1250*time.Millisecond)
+	// A server hint above the exponential term wins, jittered upward
+	// only — never below the advertised wait.
+	within("hinted", c.backoff(0, time.Second), time.Second, 1250*time.Millisecond)
 	// ...but a hint below it does not shrink the computed delay.
 	within("small-hint", c.backoff(2, 50*time.Millisecond), 300*time.Millisecond, 500*time.Millisecond)
+	// A hint just under the exponential term still floors the downward
+	// jitter: 390ms hint vs 400ms term means never less than 390ms.
+	for i := 0; i < 64; i++ {
+		within("floor", c.backoff(2, 390*time.Millisecond), 390*time.Millisecond, 500*time.Millisecond)
+	}
+}
+
+// TestBackoffHintIsFloor hammers the hinted path: across many draws the
+// delay must never dip below the advertised wait (the old ±25% jitter
+// could return at 0.75x the hint and land back in the same overload).
+func TestBackoffHintIsFloor(t *testing.T) {
+	c := New(Config{Base: "http://x", BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Seed: 7})
+	const hint = 2 * time.Second
+	var spread bool
+	for i := 0; i < 256; i++ {
+		d := c.backoff(0, hint)
+		if d < hint {
+			t.Fatalf("draw %d: delay %v below the Retry-After floor %v", i, d, hint)
+		}
+		if d > hint+hint/4 {
+			t.Fatalf("draw %d: delay %v above the +25%% jitter ceiling", i, d)
+		}
+		if d != hint {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Error("hinted delays never jittered; the herd stays synchronized")
+	}
+}
+
+// TestUnseededClientsDiverge pins the herd fix at the seed level: two
+// clients built without an explicit Seed must draw different jitter
+// streams even when created back to back within one clock tick.
+func TestUnseededClientsDiverge(t *testing.T) {
+	a := New(Config{Base: "http://x"})
+	b := New(Config{Base: "http://x"})
+	for i := 0; i < 8; i++ {
+		if a.backoff(0, 0) != b.backoff(0, 0) {
+			return
+		}
+	}
+	t.Error("two unseeded clients drew identical 8-draw jitter sequences")
 }
 
 // TestDoRetriesTransient drives do() against a scripted server:

@@ -392,7 +392,14 @@ func (s *System) loadGolden(b *bench.Benchmark, inputSeed int64) (*Golden, error
 		return nil, nil
 	}
 	var tr cpu.Trace
-	if err := artifact.DecodeGob(payload, &tr); err != nil {
+	if cpu.IsEncodedTrace(payload) {
+		dec, err := cpu.DecodeTrace(payload)
+		if err != nil {
+			return nil, nil
+		}
+		tr = *dec
+	} else if err := artifact.DecodeGob(payload, &tr); err != nil {
+		// Legacy gob blob from before the delta codec.
 		return nil, nil
 	}
 	if tr.Status != cpu.StatusExited || len(tr.Checkpoints) == 0 {
@@ -423,7 +430,7 @@ func (s *System) saveGolden(b *bench.Benchmark, inputSeed int64, g *Golden) {
 	if err != nil {
 		return
 	}
-	payload, err := artifact.EncodeGob(g.Trace)
+	payload, err := cpu.EncodeTrace(g.Trace)
 	if err != nil {
 		return
 	}

@@ -196,3 +196,44 @@ func TestHazardStoreRoundTrip(t *testing.T) {
 			other.HazardBuiltCount(), other.HazardLoadedCount())
 	}
 }
+
+// A pre-delta-codec cache holding gob-encoded traces must keep serving:
+// the loader detects the missing magic prefix and falls back to gob.
+func TestGoldenLegacyGobPayloadStillLoads(t *testing.T) {
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bench.Median()
+	cold := newStoreTestSystem(t, st)
+	g1, err := cold.Golden(b, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite the stored payload with the legacy gob encoding.
+	key, err := cold.goldenStoreKey(b, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := artifact.EncodeGob(g1.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(artifact.KindGoldenTrace, key, blob); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := newStoreTestSystem(t, st)
+	g2, err := warm.Golden(b, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.GoldenRecordedCount() != 0 || warm.GoldenLoadedCount() != 1 {
+		t.Fatalf("legacy payload not served: recorded %d, loaded %d",
+			warm.GoldenRecordedCount(), warm.GoldenLoadedCount())
+	}
+	if !reflect.DeepEqual(g1.Trace, g2.Trace) {
+		t.Error("legacy gob trace drifted on load")
+	}
+}

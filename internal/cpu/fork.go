@@ -1,0 +1,61 @@
+// Pause-at-query execution and copy-on-write forking.
+//
+// The batched Monte-Carlo trial path (internal/mc) walks one shared
+// golden prefix per group of fault trials: a "walker" core restores the
+// checkpoint image once, advances golden execution to each trial's fork
+// query with RunToQuery, and hands each trial a Fork of itself over a
+// cloned memory. KernelALUCycles counts exactly the injector queries
+// issued so far (one per FI-eligible ALU cycle inside the window), so
+// it doubles as the absolute query index the walker pauses on.
+
+package cpu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// willQuery reports whether the instruction the core is about to issue
+// would query the injector: the FI window is open and the next fetch
+// decodes to an FI-eligible ALU op. It never mutates state (fetches are
+// not counted and prefer the predecoded text image).
+func (c *CPU) willQuery() bool {
+	if !c.InWindow {
+		return false
+	}
+	in, err := c.fetch(c.PC)
+	return err == nil && in.Op != isa.OpInvalid && isa.IsALU(in.Op)
+}
+
+// RunToQuery executes until the core is about to issue injector query n
+// (0-based over the whole run, i.e. KernelALUCycles == n and the next
+// instruction queries), then returns StatusRunning with that
+// instruction NOT yet executed. A core already paused at query n
+// returns immediately. Any terminal status (exit, trap, watchdog) is
+// returned as-is; callers walking a golden trace treat that as an
+// internal inconsistency, since every trace query lies strictly before
+// the recorded end of the run.
+func (c *CPU) RunToQuery(n uint64) Status {
+	for c.status == StatusRunning {
+		if c.KernelALUCycles >= n && c.willQuery() {
+			return StatusRunning
+		}
+		c.step()
+	}
+	return c.status
+}
+
+// Fork returns a copy of the core bound to the given memory and
+// injector, with fault accounting zeroed and trace recording detached.
+// The memory must already hold a byte-identical image of c.Mem
+// (mem.CloneFrom); the fork then behaves exactly like a core Restored
+// from the nearest checkpoint and run golden up to this point — the
+// contract the batched trial path relies on for bit-identical results.
+func (c *CPU) Fork(m *mem.Memory, inj Injector) *CPU {
+	f := *c
+	f.Mem = m
+	f.inj = inj
+	f.trace = nil
+	f.FIBits, f.FIEvents = 0, 0
+	return &f
+}

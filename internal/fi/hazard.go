@@ -130,3 +130,72 @@ func FirstFault(m HazardModel, h *Hazard, rng *rand.Rand, qs []TraceQuery) (Fork
 	out, outFlag, flipped := m.SampleAt(rng, q.Op, q.Result, q.Prev, q.Flag, q.PrevFlag)
 	return Fork{Query: i, Out: out, OutFlag: outFlag, Flipped: flipped}, true
 }
+
+// BatchFork is one faulting trial of a FirstFaultBatch call: the index
+// of its RNG in the batch plus its fork point.
+type BatchFork struct {
+	Trial int
+	Fork  Fork
+}
+
+// FirstFaultBatch decides a whole batch of trials against one hazard
+// table, one RNG stream per trial. It is bit-identical per trial to
+// calling FirstFault(m, h, rngs[i], qs) for each i — each trial's RNG
+// is consumed in exactly the same order (one uniform for the index,
+// then the SampleAt draws when it faults) — but the N independent
+// binary searches collapse into one order-statistics sweep: the uniform
+// draws are sorted descending and located against the non-increasing
+// log-survival array with a monotonically advancing lower bound, so the
+// searches together cost O(N log N + N log(n/N)) instead of N full
+// O(log n) probes and touch the array almost sequentially.
+//
+// Fault-free trials are simply absent from the result (their trial is
+// the golden run). The returned forks are sorted by (Query, Trial) —
+// the restore order the batched executor wants, with equal fork points
+// adjacent so a group shares one checkpoint image.
+func FirstFaultBatch(m HazardModel, h *Hazard, rngs []*rand.Rand, qs []TraceQuery) []BatchFork {
+	n := len(h.LogSurv) - 1
+	type draw struct {
+		trial int
+		lu    float64
+	}
+	draws := make([]draw, 0, len(rngs))
+	for ti, rng := range rngs {
+		u := 1 - rng.Float64() // same first consumption as SampleIndex
+		lu := math.Log(u)
+		if lu <= h.LogSurv[n] {
+			continue // survives the whole trace
+		}
+		draws = append(draws, draw{trial: ti, lu: lu})
+	}
+	sort.Slice(draws, func(i, j int) bool {
+		if draws[i].lu != draws[j].lu {
+			return draws[i].lu > draws[j].lu
+		}
+		return draws[i].trial < draws[j].trial
+	})
+
+	out := make([]BatchFork, 0, len(draws))
+	lo := 0
+	for _, d := range draws {
+		// Identical to SampleIndex's search: smallest i with
+		// S_{i+1} < u. A larger lu can only land at a smaller-or-equal
+		// index, so with draws descending the lower bound only advances.
+		lu := d.lu
+		i := lo + sort.Search(n-lo, func(j int) bool { return h.LogSurv[lo+j+1] < lu })
+		lo = i
+		q := &qs[i]
+		o, of, flipped := m.SampleAt(rngs[d.trial], q.Op, q.Result, q.Prev, q.Flag, q.PrevFlag)
+		out = append(out, BatchFork{
+			Trial: d.trial,
+			Fork:  Fork{Query: i, Out: o, OutFlag: of, Flipped: flipped},
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Fork.Query != out[b].Fork.Query {
+			return out[a].Fork.Query < out[b].Fork.Query
+		}
+		return out[a].Trial < out[b].Trial
+	})
+	return out
+}

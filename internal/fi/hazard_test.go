@@ -2,6 +2,7 @@ package fi
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/circuit"
@@ -267,5 +268,72 @@ func TestModelCRejectionLoopBounded(t *testing.T) {
 	}
 	if out != 0xffffffff^(1<<7) {
 		t.Errorf("fallback did not force the highest-probability endpoint: out %08x", out)
+	}
+}
+
+// TestFirstFaultBatchBitIdentical is the batched drawer's contract: for
+// every model kind and both semantics, FirstFaultBatch must reproduce
+// per-trial FirstFault exactly — same clean/faulting split, same forks,
+// and the same RNG stream position afterwards (pinned by comparing the
+// next draws of both streams).
+func TestFirstFaultBatchBitIdentical(t *testing.T) {
+	const master, trials = 911, 400
+	qs := hazardQueries(3000)
+	for _, sem := range []Semantics{FlipBit, StaleCapture} {
+		for name, m := range hazardModels(t, sem, Independent) {
+			h := BuildHazard(m, qs)
+
+			// Reference: independent per-trial calls.
+			type ref struct {
+				fork Fork
+				ok   bool
+				next [3]uint64
+			}
+			refs := make([]ref, trials)
+			for ti := range refs {
+				rng := stats.NewTrialRand(stats.SubSeed(master, ti))
+				f, ok := FirstFault(m, h, rng, qs)
+				refs[ti] = ref{fork: f, ok: ok}
+				for j := range refs[ti].next {
+					refs[ti].next[j] = rng.Uint64()
+				}
+			}
+
+			// Batched over fresh streams with the same keying.
+			rngs := make([]*rand.Rand, trials)
+			for ti := range rngs {
+				rngs[ti] = stats.NewTrialRand(stats.SubSeed(master, ti))
+			}
+			batch := FirstFaultBatch(m, h, rngs, qs)
+
+			got := make(map[int]Fork, len(batch))
+			for i, bf := range batch {
+				if i > 0 {
+					prev := batch[i-1]
+					if bf.Fork.Query < prev.Fork.Query ||
+						(bf.Fork.Query == prev.Fork.Query && bf.Trial <= prev.Trial) {
+						t.Fatalf("%s/%v: batch not sorted by (query, trial) at %d", name, sem, i)
+					}
+				}
+				got[bf.Trial] = bf.Fork
+			}
+			for ti, r := range refs {
+				bf, faulted := got[ti]
+				if faulted != r.ok {
+					t.Fatalf("%s/%v trial %d: batch faulted=%v, per-trial %v", name, sem, ti, faulted, r.ok)
+				}
+				if faulted && bf != r.fork {
+					t.Fatalf("%s/%v trial %d: fork %+v, per-trial %+v", name, sem, ti, bf, r.fork)
+				}
+				for j := 0; j < len(r.next); j++ {
+					if v := rngs[ti].Uint64(); v != r.next[j] {
+						t.Fatalf("%s/%v trial %d: RNG stream diverged at post-draw %d", name, sem, ti, j)
+					}
+				}
+			}
+			if name == "A" && sem == FlipBit && len(batch) == 0 {
+				t.Fatalf("batch produced no faulting trials — fixture too weak to test anything")
+			}
+		}
 	}
 }

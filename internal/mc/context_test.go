@@ -94,7 +94,8 @@ func TestFreqRange(t *testing.T) {
 
 func TestParseMode(t *testing.T) {
 	for in, want := range map[string]Mode{
-		"": ModeAuto, "auto": ModeAuto, "first-fault": ModeAuto,
+		"": ModeAuto, "auto": ModeAuto,
+		"first-fault": ModeFirstFault, "firstfault": ModeFirstFault,
 		"scan": ModeScan, "replay": ModeScan, "full": ModeFull,
 	} {
 		got, err := ParseMode(in)

@@ -159,18 +159,23 @@ func (g Grid) Cells() []Cell {
 // must not alias theirs. Map-valued fields (the operand profile) print
 // in sorted key order, so the string is canonical.
 func cellKey(fingerprint, benchDigest string, s Spec, c Cell) string {
-	// The firstfault class matches exactly when runTrialFirstFault will
-	// serve the cell: ModeAuto, a shared golden run (fixed inputs), and
-	// a watchdog budget that admits it (newBenchCtx keeps the golden
-	// trace iff WatchdogFactor >= 1). Every built-in model kind is a
+	// The firstfault class matches exactly when first-fault sampling
+	// will serve the cell (batched under ModeAuto, per-trial under
+	// ModeFirstFault — bit-identical to each other by the differential
+	// tests): a shared golden run (fixed inputs) and a watchdog budget
+	// that admits it (newBenchCtx keeps the golden trace iff
+	// WatchdogFactor >= 1). Every built-in model kind is a
 	// fi.HazardModel, so the model needs no say here; a key is in any
 	// case a pure function of inputs that determine the path, so it can
-	// never alias results computed under a different law.
+	// never alias results computed under a different law. The rng=x1
+	// marker names the per-trial RNG family (xoshiro256++ streams keyed
+	// by SubSeed): changing the family changes every sampled result, so
+	// cells computed under the old stdlib streams must miss.
 	path := "exact"
-	if s.Mode == ModeAuto && !c.Bench.PerTrialInputs && s.WatchdogFactor >= 1 {
+	if (s.Mode == ModeAuto || s.Mode == ModeFirstFault) && !c.Bench.PerTrialInputs && s.WatchdogFactor >= 1 {
 		path = "firstfault"
 	}
-	return fmt.Sprintf("sys=%s|bench=%s|prog=%s|inputSeed=%d|model=%+v|trials=%d|tmin=%d|tmax=%d|z=%g|eps=%g|seed=%d|wf=%g|path=%s",
+	return fmt.Sprintf("sys=%s|bench=%s|prog=%s|inputSeed=%d|model=%+v|trials=%d|tmin=%d|tmax=%d|z=%g|eps=%g|seed=%d|wf=%g|path=%s|rng=x1",
 		fingerprint, c.Bench.Name, benchDigest, s.InputSeed, c.Model,
 		s.Trials, s.TrialsMin, s.TrialsMax, s.WilsonZ, s.CorrectEps,
 		s.Seed, s.WatchdogFactor, path)
@@ -264,7 +269,7 @@ func (g Grid) RunContext(ctx context.Context) ([]CellResult, error) {
 			ctxs[c.Bench.Name] = ctx
 		}
 		ps := &pointState{cell: c, ctx: ctx, model: model, key: key}
-		if s.Mode == ModeAuto && ctx.golden != nil {
+		if (s.Mode == ModeAuto || s.Mode == ModeFirstFault) && ctx.golden != nil {
 			// First-fault sampling: fetch (or build and cache) the cell's
 			// hazard table over the shared golden trace. Every built-in
 			// model is a HazardModel; the type assertion keeps custom
@@ -278,6 +283,9 @@ func (g Grid) RunContext(ctx context.Context) ([]CellResult, error) {
 				ps.hazModel, ps.hazard = hm, hz
 			}
 		}
+		// ModeAuto runs the hazard-backed cells batched; ModeFirstFault
+		// keeps the per-trial path as the differential reference.
+		ps.batched = s.Mode == ModeAuto && ps.hazard != nil
 		live = append(live, ps)
 		results = append(results, CellResult{Bench: c.Bench.Name, Model: c.Model})
 		liveIdx = append(liveIdx, len(results)-1)

@@ -41,6 +41,22 @@
 // different RNG stream — pinned by hazard-exactness unit tests and
 // Wilson-interval agreement tests in this package.
 //
+// Under ModeAuto the sampling additionally runs batched: each trial
+// window draws every trial's first-fault index in one
+// order-statistics pass over the shared log-survival array
+// (fi.FirstFaultBatch), completes the fault-free majority immediately
+// with the shared golden outcome, and executes the faulting remainder
+// grouped by fork point — a walker core restores each checkpoint
+// image once, golden-steps to the successive fork queries
+// (cpu.RunToQuery), and hands every trial a copy-on-write fork
+// (cpu.Fork) over a cloned memory. Because each trial's RNG stream is
+// consumed in exactly the per-trial order and a fork is
+// indistinguishable from an independent restore-and-replay, batched
+// results are bit-identical per seed to ModeFirstFault, which keeps
+// the per-trial sampling path as the differential reference (pinned
+// by the batched_test.go grid across model kinds, semantics and
+// schedules).
+//
 // ModeScan forces the PR-2 golden-trace replay scan: the injector is
 // driven over every recorded ALU query (fi.ScanTrace) and only trials
 // that actually flip fork into full simulation. The scan is
@@ -69,6 +85,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 
@@ -88,10 +105,11 @@ func newMem() *mem.Memory { return mem.New() }
 type Mode uint8
 
 const (
-	// ModeAuto (the default) runs first-fault sampling wherever the
-	// golden-trace fast paths apply (fixed benchmark inputs, watchdog at
-	// or above the golden cycle count), falling back to full execution
-	// elsewhere. Results are statistically equivalent to — but not
+	// ModeAuto (the default) runs batched first-fault sampling wherever
+	// the golden-trace fast paths apply (fixed benchmark inputs,
+	// watchdog at or above the golden cycle count), falling back to
+	// full execution elsewhere. Results are bit-identical per seed to
+	// ModeFirstFault and statistically equivalent to — but not
 	// bit-identical with — the scan and full paths.
 	ModeAuto Mode = iota
 	// ModeScan forces the golden-trace replay scan, the exact reference
@@ -100,6 +118,11 @@ const (
 	ModeScan
 	// ModeFull forces full ISS execution for every trial.
 	ModeFull
+	// ModeFirstFault forces the per-trial first-fault path: each trial
+	// independently draws its fork point and restores its checkpoint.
+	// It is the bit-identical reference the batched ModeAuto scheduler
+	// is differentially pinned against.
+	ModeFirstFault
 )
 
 // String names the mode.
@@ -109,8 +132,10 @@ func (m Mode) String() string {
 		return "scan"
 	case ModeFull:
 		return "full"
+	case ModeFirstFault:
+		return "first-fault"
 	}
-	return "first-fault"
+	return "auto"
 }
 
 // ParseMode maps the user-facing spelling of a trial path (CLI -mode
@@ -119,14 +144,16 @@ func (m Mode) String() string {
 // working.
 func ParseMode(s string) (Mode, error) {
 	switch s {
-	case "", "auto", "first-fault":
+	case "", "auto":
 		return ModeAuto, nil
+	case "first-fault", "firstfault":
+		return ModeFirstFault, nil
 	case "scan", "replay":
 		return ModeScan, nil
 	case "full":
 		return ModeFull, nil
 	}
-	return ModeAuto, fmt.Errorf("mc: unknown trial mode %q (want auto, scan or full)", s)
+	return ModeAuto, fmt.Errorf("mc: unknown trial mode %q (want auto, first-fault, scan or full)", s)
 }
 
 // Spec describes one experiment configuration (everything but the
@@ -322,6 +349,52 @@ type pointState struct {
 	completed int  // trials finished
 	target    int  // current decision horizon (batch end)
 	done      bool // no further trials will be scheduled
+
+	// Batched first-fault scheduling (ModeAuto with a hazard table).
+	// Instead of single-trial items, the cell hands out one planning
+	// item per adaptive window — which draws every trial's first-fault
+	// query in one order-statistics pass, completes the fault-free
+	// trials with the shared golden outcome, and splits the faulting
+	// remainder into fork-sorted chunks — and then one item per chunk,
+	// each walking a shared golden prefix and forking per trial.
+	batched  bool
+	planned  int           // trial indices below this have been planned
+	planning bool          // a planning item is in flight
+	pending  []*trialChunk // planned chunks not yet handed out
+}
+
+// plannedTrial is one faulting trial of a planned batch: its trial
+// index, its RNG (already advanced past the first-fault draws, exactly
+// as the per-trial path would have left it), and its fork point.
+type plannedTrial struct {
+	ti   int
+	rng  *rand.Rand
+	fork fi.Fork
+}
+
+// trialChunk is a contiguous run of fork-sorted faulting trials that
+// one worker executes by walking a single shared golden prefix: the
+// checkpoint image before the first fork is decoded once, the walker
+// advances monotonically (fork points are sorted), and every trial
+// forks off a copy-on-write clone of the walker state.
+type trialChunk struct {
+	trials []plannedTrial
+}
+
+// maxChunk caps chunk length so adaptive cells with many faulting
+// trials still spread across workers and cancellation latency stays
+// bounded; the schedule has no effect on results either way.
+const maxChunk = 64
+
+// workItem is one unit handed out by the engine scheduler: a single
+// trial (the scan/full/per-trial-first-fault paths), a planning pass
+// over a batched window, or a chunk of planned faulting trials.
+type workItem struct {
+	pi               int
+	ti               int
+	plan             bool
+	planFrom, planTo int
+	chunk            *trialChunk
 }
 
 // engine is the grid-level scheduler: one shared pool of workers pulls
@@ -358,32 +431,56 @@ func newEngine(s Spec, pts []*pointState, store *artifact.Store) *engine {
 	return e
 }
 
-// take hands out the next (point, trial) work item, blocking while all
-// points are between batches. It returns false when the sweep is
-// complete or aborted.
-func (e *engine) take() (pi, ti int, ok bool) {
+// take hands out the next work item, blocking while all points are
+// between batches (or waiting on a planning pass). It returns false
+// when the sweep is complete or aborted.
+func (e *engine) take() (workItem, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for {
 		if e.err != nil {
-			return 0, 0, false
+			return workItem{}, false
 		}
 		allDone := true
 		for i, p := range e.pts {
+			if p.batched {
+				if len(p.pending) > 0 {
+					ch := p.pending[0]
+					p.pending = p.pending[1:]
+					return workItem{pi: i, chunk: ch}, true
+				}
+				if !p.planning && p.planned < p.target {
+					p.planning = true
+					return workItem{pi: i, plan: true, planFrom: p.planned, planTo: p.target}, true
+				}
+				if !p.done {
+					allDone = false
+				}
+				continue
+			}
 			if p.next < p.target {
-				ti = p.next
+				ti := p.next
 				p.next++
-				return i, ti, true
+				return workItem{pi: i, ti: ti}, true
 			}
 			if !p.done {
 				allDone = false
 			}
 		}
 		if allDone {
-			return 0, 0, false
+			return workItem{}, false
 		}
 		e.cond.Wait()
 	}
+}
+
+// aborted reports whether the engine has hit an error (including
+// cancellation); chunk runners poll it between trials so a cancelled
+// grid stops at trial granularity, not chunk granularity.
+func (e *engine) aborted() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err != nil
 }
 
 // decide evaluates a point whose current batch just completed and
@@ -500,7 +597,7 @@ func (e *engine) runTrialFirstFault(m *mem.Memory, pi, ti int) trialResult {
 	p := e.pts[pi]
 	ctx := p.ctx
 	var r trialResult
-	rng := stats.NewRand(stats.SubSeed(s.Seed, ti))
+	rng := stats.NewTrialRand(stats.SubSeed(s.Seed, ti))
 	fork, ok := fi.FirstFault(p.hazModel, p.hazard, rng, ctx.golden.Queries)
 	if !ok {
 		// Fault-free: the trial is the golden run.
@@ -521,6 +618,116 @@ func (e *engine) runTrialFirstFault(m *mem.Memory, pi, ti int) trialResult {
 	return e.finishTrial(ctx, c, m, ctx.golden.Prog, ctx.golden.Want, st)
 }
 
+// plan decides a whole window of a batched cell's trials in one pass:
+// every trial's first-fault query index is drawn from the shared prefix
+// log-survival array by one order-statistics sweep (fi.FirstFaultBatch,
+// bit-identical per trial to fi.FirstFault over the same RNG streams),
+// fault-free trials complete immediately with the shared golden
+// outcome, and the faulting remainder — sorted by fork point so trials
+// restoring the same checkpoint are adjacent — is split into contiguous
+// chunks for the workers. Chunk geometry depends only on (window,
+// Workers), never on the schedule, and trials are independent, so
+// results are invariant under both.
+func (e *engine) plan(pi, from, to int) {
+	p := e.pts[pi]
+	ctx := p.ctx
+	rngs := make([]*rand.Rand, to-from)
+	for i := range rngs {
+		rngs[i] = stats.NewTrialRand(stats.SubSeed(e.s.Seed, from+i))
+	}
+	forks := fi.FirstFaultBatch(p.hazModel, p.hazard, rngs, ctx.golden.Queries)
+
+	faulted := make([]bool, to-from)
+	for _, bf := range forks {
+		faulted[bf.Trial] = true
+	}
+	var chunks []*trialChunk
+	if len(forks) > 0 {
+		cs := (len(forks) + e.s.Workers - 1) / e.s.Workers
+		if cs > maxChunk {
+			cs = maxChunk
+		}
+		for start := 0; start < len(forks); start += cs {
+			end := start + cs
+			if end > len(forks) {
+				end = len(forks)
+			}
+			ch := &trialChunk{trials: make([]plannedTrial, 0, end-start)}
+			for _, bf := range forks[start:end] {
+				ch.trials = append(ch.trials, plannedTrial{
+					ti: from + bf.Trial, rng: rngs[bf.Trial], fork: bf.Fork,
+				})
+			}
+			chunks = append(chunks, ch)
+		}
+	}
+
+	// Install the chunks before completing the clean trials: a clean
+	// completion can close the window (all faulting chunks already done
+	// is impossible here, but an adaptive extension is not), and waiting
+	// workers must be able to claim the chunks either way.
+	e.mu.Lock()
+	p.pending = append(p.pending, chunks...)
+	p.planning = false
+	p.planned = to
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	clean := trialResult{
+		finished: true, correct: true,
+		kernelCycles: ctx.golden.Trace.KernelCycles,
+		metric:       ctx.metric0,
+	}
+	for i := from; i < to; i++ {
+		if !faulted[i-from] {
+			e.complete(pi, i, clean)
+		}
+	}
+}
+
+// runChunk executes one chunk of planned faulting trials over a shared
+// golden prefix: the checkpoint before the chunk's first fork is
+// restored (and its text image decoded) once into the worker's walker
+// core, the walker golden-steps forward to each fork point in order
+// (RunToQuery — fork points are sorted, so it only ever advances), and
+// each trial runs a copy-on-write Fork of the walker over the worker's
+// trial memory. Forking at query q is bit-identical to independently
+// restoring the nearest checkpoint and replaying golden values up to q
+// (pinned by cpu's TestForkMatchesRestore), so every trial's outcome
+// matches the per-trial first-fault path exactly.
+func (e *engine) runChunk(m, wm *mem.Memory, pi int, ch *trialChunk) {
+	s := e.s
+	p := e.pts[pi]
+	ctx := p.ctx
+	cp := ctx.golden.Trace.CheckpointBefore(ch.trials[0].fork.Query)
+	wm.Reset()
+	walker := cpu.New(wm, nil, s.System.Cfg.CPU)
+	if err := walker.Restore(ctx.golden.Prog, ctx.golden.Trace, cp); err != nil {
+		for _, t := range ch.trials {
+			e.complete(pi, t.ti, trialResult{err: err})
+		}
+		return
+	}
+	walker.SetWatchdog(ctx.watchdog)
+	for i, t := range ch.trials {
+		if i > 0 && e.aborted() {
+			// Cancelled mid-chunk: the remaining trials stay incomplete,
+			// which keeps the cell open and lets run() report the abort.
+			return
+		}
+		if st := walker.RunToQuery(uint64(t.fork.Query)); st != cpu.StatusRunning {
+			e.complete(pi, t.ti, trialResult{err: fmt.Errorf(
+				"mc: golden walker ended %v before query %d", st, t.fork.Query)})
+			continue
+		}
+		m.CloneFrom(wm)
+		fc := walker.Fork(m, fi.NewForkInjector(p.hazModel.NewTrial(t.rng), t.fork.Query, t.fork))
+		fc.SetWatchdog(ctx.watchdog)
+		st := fc.Run()
+		e.complete(pi, t.ti, e.finishTrial(ctx, fc, m, ctx.golden.Prog, ctx.golden.Want, st))
+	}
+}
+
 // runTrialReplay decides the trial against the golden trace: the model's
 // injector is driven over the recorded ALU activity, and only when it
 // actually flips a bit does the trial fork into full execution, resuming
@@ -533,7 +740,7 @@ func (e *engine) runTrialReplay(m *mem.Memory, pi, ti int) trialResult {
 	p := e.pts[pi]
 	ctx := p.ctx
 	var r trialResult
-	rng := stats.NewRand(stats.SubSeed(s.Seed, ti))
+	rng := stats.NewTrialRand(stats.SubSeed(s.Seed, ti))
 	inj := p.model.NewTrial(rng)
 	fork, ok := fi.ScanTrace(inj, ctx.golden.Queries)
 	if !ok {
@@ -562,7 +769,7 @@ func (e *engine) runTrialFull(m *mem.Memory, pi, ti int) trialResult {
 	p := e.pts[pi]
 	ctx := p.ctx
 	var r trialResult
-	rng := stats.NewRand(stats.SubSeed(s.Seed, ti))
+	rng := stats.NewTrialRand(stats.SubSeed(s.Seed, ti))
 	prog, want := ctx.prog, ctx.want
 	if ctx.bench.PerTrialInputs {
 		src, w2, err := ctx.bench.Build(stats.SubSeed(s.InputSeed, ti))
@@ -657,12 +864,23 @@ func (e *engine) run(ctx context.Context) ([]Point, error) {
 		go func() {
 			defer wg.Done()
 			m := newMem()
+			var wm *mem.Memory // walker memory, lazily built for chunks
 			for {
-				pi, ti, ok := e.take()
+				it, ok := e.take()
 				if !ok {
 					return
 				}
-				e.complete(pi, ti, e.runTrial(m, pi, ti))
+				switch {
+				case it.plan:
+					e.plan(it.pi, it.planFrom, it.planTo)
+				case it.chunk != nil:
+					if wm == nil {
+						wm = newMem()
+					}
+					e.runChunk(m, wm, it.pi, it.chunk)
+				default:
+					e.complete(it.pi, it.ti, e.runTrial(m, it.pi, it.ti))
+				}
 			}
 		}()
 	}
@@ -848,7 +1066,7 @@ func runSerial(spec Spec, fMHz float64) (Point, error) {
 			defer wg.Done()
 			m := newMem()
 			for t := range trialCh {
-				rng := stats.NewRand(stats.SubSeed(s.Seed, t))
+				rng := stats.NewTrialRand(stats.SubSeed(s.Seed, t))
 				prog, want := sharedProg, sharedWant
 				if s.Bench.PerTrialInputs {
 					src, w2, err := s.Bench.Build(stats.SubSeed(s.InputSeed, t))

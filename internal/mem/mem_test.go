@@ -2,6 +2,7 @@ package mem
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -142,5 +143,93 @@ func TestStoreLoadProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestResetDirtyTracking drives random writes through every mutation
+// path against a naive full-clear shadow memory and checks that the
+// span-narrowed Reset restores the all-zero state exactly.
+func TestResetDirtyTracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := New()
+	for round := 0; round < 50; round++ {
+		nWrites := rng.Intn(20)
+		for i := 0; i < nWrites; i++ {
+			addr := uint32(rng.Intn(int(m.Size())))
+			switch rng.Intn(5) {
+			case 0:
+				m.StoreWord(addr&^3, rng.Uint32())
+			case 1:
+				m.StoreHalf(addr&^1, uint16(rng.Uint32()))
+			case 2:
+				m.StoreByte(addr, uint8(rng.Uint32()))
+			case 3:
+				img := make([]byte, rng.Intn(64))
+				for j := range img {
+					img[j] = byte(rng.Uint32())
+				}
+				if uint64(addr)+uint64(len(img)) <= uint64(m.Size()) {
+					m.LoadImage(addr, img)
+				}
+			case 4:
+				ws := make([]uint32, rng.Intn(16))
+				for j := range ws {
+					ws[j] = rng.Uint32()
+				}
+				base := addr &^ 3
+				if uint64(base)+uint64(4*len(ws)) <= uint64(m.Size()) {
+					m.WriteWords(base, ws)
+				}
+			}
+		}
+		m.Reset()
+		for addr := uint32(0); addr < m.Size(); addr += 4 {
+			if v, _ := m.LoadWord(addr); v != 0 {
+				t.Fatalf("round %d: byte at 0x%x nonzero after Reset: %#x", round, addr, v)
+			}
+		}
+		m.Loads = 0 // the scan above counted loads
+	}
+}
+
+// TestCloneFrom checks CloneFrom yields a byte-identical memory
+// (counters included) regardless of what the destination held before,
+// including destination dirt outside the source's dirty spans.
+func TestCloneFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src, dst := New(), New()
+
+	// Dirty dst widely, including addresses src never touches.
+	dst.StoreWord(0, 0xdeadbeef)
+	dst.StoreWord(IMemSize-4, 0x12345678)
+	dst.StoreWord(DMemBase, 0xa5a5a5a5)
+	dst.StoreWord(DMemBase+DMemSize-4, 0x5a5a5a5a)
+
+	// Populate src through a mix of paths.
+	src.LoadImage(128, []byte{1, 2, 3, 4, 5})
+	src.WriteWords(DMemBase+64, []uint32{9, 8, 7})
+	for i := 0; i < 100; i++ {
+		src.StoreWord(DMemBase+uint32(rng.Intn(1024))*4, rng.Uint32())
+	}
+	src.LoadWord(DMemBase + 64)
+
+	dst.CloneFrom(src)
+	for addr := uint32(0); addr < src.Size(); addr += 4 {
+		a, _ := src.FetchWord(addr)
+		b, _ := dst.FetchWord(addr)
+		if a != b {
+			t.Fatalf("word at 0x%x differs after CloneFrom: src %#x dst %#x", addr, a, b)
+		}
+	}
+	if dst.Loads != src.Loads || dst.Stores != src.Stores {
+		t.Fatalf("counters differ: dst (%d,%d) src (%d,%d)", dst.Loads, dst.Stores, src.Loads, src.Stores)
+	}
+
+	// The clone must stay consistent across a further Reset.
+	dst.Reset()
+	for addr := uint32(0); addr < dst.Size(); addr += 4 {
+		if v, _ := dst.FetchWord(addr); v != 0 {
+			t.Fatalf("byte at 0x%x nonzero after post-clone Reset: %#x", addr, v)
+		}
 	}
 }

@@ -267,6 +267,10 @@ type Manager struct {
 
 	// Observed service time, for Retry-After advice: exponentially
 	// weighted seconds-per-cell and cells-per-job over completed runs.
+	// ewmaSeeded distinguishes "no history yet" from genuinely observed
+	// values — a legitimate observation can be arbitrarily fast, and a
+	// zero-valued sentinel would silently restart the average on it.
+	ewmaSeeded   bool
 	ewmaCellSec  float64
 	ewmaJobCells float64
 
@@ -352,7 +356,8 @@ func (m *Manager) observeLocked(dur time.Duration, cells int) {
 	}
 	const alpha = 0.3
 	perCell := dur.Seconds() / float64(cells)
-	if m.ewmaCellSec == 0 {
+	if !m.ewmaSeeded {
+		m.ewmaSeeded = true
 		m.ewmaCellSec, m.ewmaJobCells = perCell, float64(cells)
 		return
 	}

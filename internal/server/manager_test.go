@@ -1,0 +1,40 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestObserveLockedZeroSeed is the regression test for the EWMA seeding
+// sentinel: a first observation with zero per-cell seconds (an instant
+// fake-backend job, or a sub-resolution real one) is a legitimate data
+// point, not "no history". The old code used ewmaCellSec == 0 as the
+// unseeded marker, so the next slow job silently re-seeded the average
+// to its full value instead of blending in at alpha.
+func TestObserveLockedZeroSeed(t *testing.T) {
+	m := NewManager(Options{System: system(), Backend: &fakeBackend{}, Parallel: 1})
+	defer m.Shutdown(context.Background())
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observeLocked(0, 10) // instant job: perCell = 0, a real observation
+	if !m.ewmaSeeded {
+		t.Fatal("first observation did not seed the EWMAs")
+	}
+	if m.ewmaCellSec != 0 || m.ewmaJobCells != 10 {
+		t.Fatalf("seed observation: cellSec=%v jobCells=%v, want 0, 10", m.ewmaCellSec, m.ewmaJobCells)
+	}
+
+	m.observeLocked(100*time.Second, 1)
+	// alpha = 0.3: blend, don't re-seed to (100, 1).
+	if got, want := m.ewmaCellSec, 30.0; got != want {
+		t.Errorf("ewmaCellSec after slow job = %v, want %v (alpha blend, not a re-seed)", got, want)
+	}
+	// Same float ops as observeLocked, so the comparison is exact.
+	want := 10.0
+	want += 0.3 * (1 - want)
+	if got := m.ewmaJobCells; got != want {
+		t.Errorf("ewmaJobCells after slow job = %v, want %v", got, want)
+	}
+}

@@ -55,8 +55,9 @@ type JobSpec struct {
 	// benchmark inputs (default 42).
 	Seed      int64 `json:"seed,omitempty"`
 	InputSeed int64 `json:"input_seed,omitempty"`
-	// Mode selects the trial path: "auto" (first-fault sampling, the
-	// default everywhere including the server), "scan", or "full".
+	// Mode selects the trial path: "auto" (batched first-fault
+	// sampling, the default everywhere including the server),
+	// "first-fault" (per-trial sampling), "scan", or "full".
 	Mode string `json:"mode,omitempty"`
 	// Semantics is the fault semantics: "flip-bit" (default) or
 	// "stale-capture". Sampling is model C's endpoint sampling:

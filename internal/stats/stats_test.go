@@ -271,3 +271,50 @@ func TestNormalQuantileRoundTrip(t *testing.T) {
 		t.Errorf("NormalQuantile(0.975) = %v, want %v", NormalQuantile(0.975), WilsonZ95)
 	}
 }
+
+func TestNewTrialRandDeterministic(t *testing.T) {
+	a, b := NewTrialRand(12345), NewTrialRand(12345)
+	for i := 0; i < 64; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: %d != %d for same seed", i, x, y)
+		}
+	}
+}
+
+func TestNewTrialRandDistinctStreams(t *testing.T) {
+	// Adjacent SubSeed-derived trial streams must not collide; use the
+	// same keying as the Monte-Carlo engine.
+	const master, trials, draws = 42, 32, 16
+	seen := map[uint64][2]int{}
+	for ti := 0; ti < trials; ti++ {
+		rng := NewTrialRand(SubSeed(master, ti))
+		for d := 0; d < draws; d++ {
+			v := rng.Uint64()
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("trial %d draw %d collides with trial %d draw %d", ti, d, prev[0], prev[1])
+			}
+			seen[v] = [2]int{ti, d}
+		}
+	}
+}
+
+func TestNewTrialRandUniform(t *testing.T) {
+	// Coarse uniformity: 16 equal bins over Float64, chi-square far from
+	// pathological for a healthy generator.
+	rng := NewTrialRand(7)
+	const n, bins = 1 << 16, 16
+	var counts [bins]int
+	for i := 0; i < n; i++ {
+		counts[int(rng.Float64()*bins)]++
+	}
+	exp := float64(n) / bins
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	// 15 dof; 99.99th percentile ~ 44. Anything near that signals breakage.
+	if chi2 > 60 {
+		t.Fatalf("chi-square %v too large: %v", chi2, counts)
+	}
+}
