@@ -1,0 +1,133 @@
+// Cold-path benches for the pipelined concurrent resolver: cold grids
+// pay DTA characterization, golden-trace recording, model construction
+// and hazard-table builds before the first trial runs. The headline
+// pair measures the singleflight win under contention — 8 concurrent
+// submissions of one cold grid against a shared System (every build
+// deduped to a single flight) against the same 8 submissions each
+// paying its builds privately, the per-request cost the old caches
+// imposed on concurrent identical requests. The ratio is work-dedup,
+// not core-scaling, so it holds on any machine width. Acceptance bar:
+// deduped >= 3x over duplicated (scripts/bench_cold.sh asserts it in
+// CI from a fresh run). The second pair isolates the pipelining of one
+// lone submission against the serial resolve-then-run reference.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mc"
+)
+
+// coldSystem builds a private reduced-characterization System so every
+// iteration starts with empty model/golden/hazard caches.
+func coldSystem() *core.System {
+	cfg := core.DefaultConfig()
+	cfg.DTA.Cycles = 512
+	return core.New(cfg)
+}
+
+// coldGrid is the benchmark workload: a multi-benchmark, multi-model,
+// multi-frequency grid whose 8 cells share 2 goldens, 4 models and 4
+// hazard tables — enough distinct keys that resolution dominates and
+// the resolver has real parallelism to exploit.
+func coldGrid(sys *core.System, serial bool) mc.Grid {
+	return mc.Grid{
+		Spec: mc.Spec{
+			System:  sys,
+			Model:   core.ModelSpec{Kind: "B+", Vdd: 0.7, Sigma: 0.010},
+			Trials:  2,
+			Workers: 8,
+			Seed:    3,
+		},
+		Axes: mc.Axes{
+			Benches: []*bench.Benchmark{bench.Median(), bench.MatMult8()},
+			Kinds:   []string{"B+", "C"},
+			Freqs:   []float64{700, 720},
+		},
+		SerialResolve: serial,
+	}
+}
+
+// BenchmarkColdSubmissionsDeduped: 8 concurrent cold submissions of the
+// same grid against one shared System. The singleflight caches collapse
+// the 8 identical build sets into one flight per distinct key, so total
+// work per iteration is one cold run plus 7 cheap waits.
+func BenchmarkColdSubmissionsDeduped(b *testing.B) {
+	const clients = 8
+	for i := 0; i < b.N; i++ {
+		sys := coldSystem()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := coldGrid(sys, false).Run(); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		b.ReportMetric(float64(sys.ModelsBuiltCount()), "models-built")
+		b.ReportMetric(float64(sys.GoldenRecordedCount()), "goldens-recorded")
+		b.ReportMetric(float64(sys.HazardBuiltCount()), "hazards-built")
+	}
+}
+
+// BenchmarkColdSubmissionsDuplicated: the same 8 concurrent cold
+// submissions, each against a private System on the pre-pipelining
+// serial path — every submission pays its own characterization,
+// goldens, models and hazards, the way concurrent identical requests
+// behaved before the caches became singleflight.
+func BenchmarkColdSubmissionsDuplicated(b *testing.B) {
+	const clients = 8
+	for i := 0; i < b.N; i++ {
+		var built, recorded, hazards int64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sys := coldSystem()
+				if _, err := coldGrid(sys, true).Run(); err != nil {
+					b.Error(err)
+					return
+				}
+				mu.Lock()
+				built += sys.ModelsBuiltCount()
+				recorded += sys.GoldenRecordedCount()
+				hazards += sys.HazardBuiltCount()
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		b.ReportMetric(float64(built), "models-built")
+		b.ReportMetric(float64(recorded), "goldens-recorded")
+		b.ReportMetric(float64(hazards), "hazards-built")
+	}
+}
+
+// BenchmarkColdGridPipelined: one lone cold submission on the default
+// path — cells resolve concurrently and stream into the trial engine
+// as they land.
+func BenchmarkColdGridPipelined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := coldGrid(coldSystem(), false).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdGridSerial: the same lone submission on the reference
+// path — every cell resolved in enumeration order before the engine
+// starts.
+func BenchmarkColdGridSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := coldGrid(coldSystem(), true).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"os"
+	"sync"
 	"testing"
 )
 
@@ -106,5 +107,79 @@ func TestGobPayloadRoundTrip(t *testing.T) {
 func TestOpenRejectsEmptyDir(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Fatal("Open(\"\") succeeded")
+	}
+}
+
+// TestConcurrentSameKeyPutStaysAtomic races many writers of one key
+// (two daemons over one cache directory, or resolver workers racing a
+// store miss) against a reader: every Get that hits must decode to one
+// of the complete payloads — the rename-based writer must never expose
+// a torn or interleaved blob.
+func TestConcurrentSameKeyPutStaysAtomic(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct payloads per writer, each self-describing and large
+	// enough that a torn write would be observable.
+	const writers = 8
+	const rounds = 20
+	payloads := make([][]byte, writers)
+	for w := range payloads {
+		p := make([]byte, 4096)
+		for i := range p {
+			p[i] = byte(w)
+		}
+		payloads[w] = p
+	}
+	valid := func(got []byte) bool {
+		if len(got) != 4096 {
+			return false
+		}
+		w := got[0]
+		if int(w) >= writers {
+			return false
+		}
+		return bytes.Equal(got, payloads[w])
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := st.Put("kind", "contended", payloads[w]); err != nil {
+					t.Errorf("writer %d round %d: %v", w, r, err)
+					return
+				}
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < writers*rounds; i++ {
+			got, ok, err := st.Get("kind", "contended")
+			if err != nil {
+				t.Errorf("reader: %v", err)
+				return
+			}
+			if ok && !valid(got) {
+				t.Errorf("reader observed a torn blob: len=%d first=%d", len(got), got[0])
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+
+	// After the dust settles the key must hold one intact payload.
+	got, ok, err := st.Get("kind", "contended")
+	if err != nil || !ok {
+		t.Fatalf("final Get = %v, %v", ok, err)
+	}
+	if !valid(got) {
+		t.Fatalf("final blob torn: len=%d", len(got))
 	}
 }

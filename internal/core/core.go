@@ -71,17 +71,37 @@ type System struct {
 	Char *dta.Characterizer
 
 	modelMu sync.Mutex
-	models  map[modelKey]fi.Model
+	models  map[modelKey]*modelEntry
 
 	goldenMu sync.Mutex
-	goldens  map[goldenKey]*Golden
+	goldens  map[goldenKey]*goldenEntry
 
 	hazards hazardCache
 
 	artifacts *artifact.Store
 
+	modelsBuilt    atomic.Int64 // fault models actually instantiated
 	goldenRecorded atomic.Int64 // golden traces actually executed+recorded
 	goldenLoaded   atomic.Int64 // golden traces served from the artifact store
+}
+
+// modelEntry is one singleflight slot of the model cache: the first
+// caller of a key runs the build inside once, every concurrent caller of
+// the same key blocks on it and shares the one instance (or the one
+// error — construction is deterministic for a fixed system config, so a
+// failed spec fails identically on every retry).
+type modelEntry struct {
+	once sync.Once
+	m    fi.Model
+	err  error
+}
+
+// goldenEntry is the golden cache's singleflight slot, same contract as
+// modelEntry.
+type goldenEntry struct {
+	once sync.Once
+	g    *Golden
+	err  error
 }
 
 // New builds and calibrates a system.
@@ -91,8 +111,8 @@ func New(cfg Config) *System {
 		Cfg:     cfg,
 		ALU:     alu,
 		Char:    dta.NewCharacterizer(alu, cfg.Vdd, cfg.DTA),
-		models:  map[modelKey]fi.Model{},
-		goldens: map[goldenKey]*Golden{},
+		models:  map[modelKey]*modelEntry{},
+		goldens: map[goldenKey]*goldenEntry{},
 	}
 }
 
@@ -124,13 +144,20 @@ func (s *System) GoldenRecordedCount() int64 { return s.goldenRecorded.Load() }
 // attached artifact store.
 func (s *System) GoldenLoadedCount() int64 { return s.goldenLoaded.Load() }
 
+// ModelsBuiltCount reports how many fault-model instances the Model
+// cache actually constructed — with the singleflight cache, concurrent
+// requests for one spec count a single build. Explicit NewModel calls
+// bypass the cache and are not counted.
+func (s *System) ModelsBuiltCount() int64 { return s.modelsBuilt.Load() }
+
 // CacheSummary renders one line of artifact-cache traffic, for the CLI
 // tools' stderr diagnostics (and the CI warm-start assertion).
 func (s *System) CacheSummary() string {
-	return fmt.Sprintf("characterizations: %d computed, %d loaded; goldens: %d recorded, %d loaded; hazards: %d built, %d loaded",
+	return fmt.Sprintf("characterizations: %d computed, %d loaded; goldens: %d recorded, %d loaded; hazards: %d built, %d loaded; models: %d built",
 		s.Char.ComputedCount(), s.Char.LoadedCount(),
 		s.goldenRecorded.Load(), s.goldenLoaded.Load(),
-		s.hazards.built.Load(), s.hazards.loaded.Load())
+		s.hazards.built.Load(), s.hazards.loaded.Load(),
+		s.modelsBuilt.Load())
 }
 
 // STALimitMHz returns the static timing limit at supply v (707 MHz at
@@ -212,30 +239,30 @@ func (spec ModelSpec) key() modelKey {
 // shareable, and building one (especially model C, which pulls DTA
 // characterizations for every ALU op) is far more expensive than a
 // lookup, so sweeps and the experiment runners hit this cache once per
-// (config, model, profile) instead of once per data point. Errors are
-// not cached. Callers must not mutate spec.Profile after the call.
+// (config, model, profile) instead of once per data point.
+//
+// The cache is per-key singleflight: concurrent callers of one spec
+// block on a single build and share its result (including a build
+// error — construction is deterministic for a fixed system config, so
+// a failed spec fails identically on every retry), while distinct
+// specs build in parallel, never serialized on the map mutex. Callers
+// must not mutate spec.Profile after the call.
 func (s *System) Model(spec ModelSpec) (fi.Model, error) {
 	k := spec.key()
 	s.modelMu.Lock()
-	m, ok := s.models[k]
-	s.modelMu.Unlock()
-	if ok {
-		return m, nil
-	}
-	m, err := s.NewModel(spec)
-	if err != nil {
-		return nil, err
-	}
-	s.modelMu.Lock()
-	// Another goroutine may have raced us here; keep the first instance
-	// so repeated lookups stay pointer-identical.
-	if prev, ok := s.models[k]; ok {
-		m = prev
-	} else {
-		s.models[k] = m
+	e, ok := s.models[k]
+	if !ok {
+		e = &modelEntry{}
+		s.models[k] = e
 	}
 	s.modelMu.Unlock()
-	return m, nil
+	e.once.Do(func() {
+		e.m, e.err = s.NewModel(spec)
+		if e.err == nil {
+			s.modelsBuilt.Add(1)
+		}
+	})
+	return e.m, e.err
 }
 
 // NewModel instantiates the spec against this system without consulting
@@ -299,44 +326,44 @@ type goldenKey struct {
 const goldenWatchdog = 100_000_000
 
 // Golden records (or returns the cached) golden trace of the benchmark
-// built with inputSeed. Like Model, it is safe for concurrent use and
-// repeated lookups return the same instance, so a whole sweep — and
-// every later sweep of the same benchmark — pays for one recorded
-// execution. Benchmarks with per-trial inputs have no single golden run
-// and are rejected.
+// built with inputSeed. Like Model, it is per-key singleflight:
+// concurrent callers of one (benchmark, seed) share a single recorded
+// execution (or a single store load) instead of each recording their
+// own, and repeated lookups return the same instance, so a whole sweep
+// — and every later sweep of the same benchmark — pays for one recorded
+// execution. Distinct benchmarks record in parallel. Benchmarks with
+// per-trial inputs have no single golden run and are rejected.
 func (s *System) Golden(b *bench.Benchmark, inputSeed int64) (*Golden, error) {
 	if b.PerTrialInputs {
 		return nil, fmt.Errorf("core: %s regenerates inputs per trial; no shared golden trace", b.Name)
 	}
 	k := goldenKey{bench: b.Name, inputSeed: inputSeed}
 	s.goldenMu.Lock()
-	g, ok := s.goldens[k]
+	e, ok := s.goldens[k]
+	if !ok {
+		e = &goldenEntry{}
+		s.goldens[k] = e
+	}
 	s.goldenMu.Unlock()
-	if ok {
-		return g, nil
-	}
-	g, err := s.loadGolden(b, inputSeed)
-	if err != nil {
-		return nil, err
-	}
-	if g != nil {
-		s.goldenLoaded.Add(1)
-	} else {
-		if g, err = s.recordGolden(b, inputSeed); err != nil {
-			return nil, err
+	e.once.Do(func() {
+		g, err := s.loadGolden(b, inputSeed)
+		if err != nil {
+			e.err = err
+			return
 		}
-		s.goldenRecorded.Add(1)
-		s.saveGolden(b, inputSeed, g)
-	}
-	s.goldenMu.Lock()
-	// Keep the first instance if another goroutine raced us here.
-	if prev, ok := s.goldens[k]; ok {
-		g = prev
-	} else {
-		s.goldens[k] = g
-	}
-	s.goldenMu.Unlock()
-	return g, nil
+		if g != nil {
+			s.goldenLoaded.Add(1)
+		} else {
+			if g, err = s.recordGolden(b, inputSeed); err != nil {
+				e.err = err
+				return
+			}
+			s.goldenRecorded.Add(1)
+			s.saveGolden(b, inputSeed, g)
+		}
+		e.g = g
+	})
+	return e.g, e.err
 }
 
 // BenchDigest hashes the benchmark's actual program content at an input

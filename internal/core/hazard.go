@@ -28,17 +28,27 @@ type hazardKey struct {
 }
 
 // hazardCache is the System-level cache; split out so core.go stays the
-// construction/golden path and this file the hazard path.
+// construction/golden path and this file the hazard path. Like the
+// model and golden caches it is per-key singleflight: each entry's
+// once runs the load-or-build exactly once while concurrent callers of
+// the same key block on it, and distinct keys build in parallel.
 type hazardCache struct {
 	mu      sync.Mutex
-	tables  map[hazardKey]*fi.Hazard
+	tables  map[hazardKey]*hazardEntry
 	built   atomic.Int64 // hazard tables actually constructed
 	loaded  atomic.Int64 // hazard tables served from the artifact store
 	initOne sync.Once
 }
 
+// hazardEntry is one singleflight slot of the hazard cache, same
+// contract as modelEntry.
+type hazardEntry struct {
+	once sync.Once
+	h    *fi.Hazard
+}
+
 func (c *hazardCache) init() {
-	c.initOne.Do(func() { c.tables = map[hazardKey]*fi.Hazard{} })
+	c.initOne.Do(func() { c.tables = map[hazardKey]*hazardEntry{} })
 }
 
 // HazardBuiltCount reports how many hazard tables this system actually
@@ -71,27 +81,27 @@ func (s *System) Hazard(b *bench.Benchmark, inputSeed int64, spec ModelSpec) (*f
 	k := hazardKey{golden: goldenKey{bench: b.Name, inputSeed: inputSeed}, model: spec.key()}
 	s.hazards.init()
 	s.hazards.mu.Lock()
-	h, ok := s.hazards.tables[k]
-	s.hazards.mu.Unlock()
-	if ok {
-		return h, nil
+	e, ok := s.hazards.tables[k]
+	if !ok {
+		e = &hazardEntry{}
+		s.hazards.tables[k] = e
 	}
-	if h = s.loadHazard(b, inputSeed, spec, len(g.Queries)); h != nil {
-		s.hazards.loaded.Add(1)
-	} else {
-		h = fi.BuildHazard(hm, g.Queries)
+	s.hazards.mu.Unlock()
+	// Load-or-build runs once per key; concurrent callers of the same
+	// key block here and share the one table. The interior cannot fail:
+	// loadHazard degrades to nil on any store problem and BuildHazard is
+	// total, so the entry carries no error slot.
+	e.once.Do(func() {
+		if h := s.loadHazard(b, inputSeed, spec, len(g.Queries)); h != nil {
+			s.hazards.loaded.Add(1)
+			e.h = h
+			return
+		}
+		e.h = fi.BuildHazard(hm, g.Queries)
 		s.hazards.built.Add(1)
-		s.saveHazard(b, inputSeed, spec, h)
-	}
-	s.hazards.mu.Lock()
-	// Keep the first instance if another goroutine raced us here.
-	if prev, ok := s.hazards.tables[k]; ok {
-		h = prev
-	} else {
-		s.hazards.tables[k] = h
-	}
-	s.hazards.mu.Unlock()
-	return h, nil
+		s.saveHazard(b, inputSeed, spec, e.h)
+	})
+	return e.h, nil
 }
 
 // hazardStoreKey spells out every input the table depends on: the full

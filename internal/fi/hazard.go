@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/isa"
 )
@@ -61,23 +62,37 @@ type Hazard struct {
 
 // BuildHazard marginalizes the model once per distinct op in the query
 // stream and folds the per-query hazards into the prefix log-survival
-// array. Summation is Kahan-compensated so the array matches the
-// brute-force product of per-query survival probabilities to ~1e-14
-// even over long traces.
+// array. The marginalizations — the expensive part, a 2^16-step
+// trapezoid integration per op for the DTA-backed models — run
+// concurrently, one goroutine per distinct op; the fold stays
+// sequential in query order, so the result is bit-identical to the
+// fully serial construction (each PerOp value is the same float64
+// regardless of which goroutine computed it, and the Kahan summation
+// order never changes). Summation is Kahan-compensated so the array
+// matches the brute-force product of per-query survival probabilities
+// to ~1e-14 even over long traces.
 func BuildHazard(m HazardModel, qs []TraceQuery) *Hazard {
 	h := &Hazard{
 		PerOp:   make([]float64, isa.NumOps),
 		LogSurv: make([]float64, len(qs)+1),
 	}
 	seen := make([]bool, isa.NumOps)
-	sum, comp := 0.0, 0.0
+	var wg sync.WaitGroup
 	for i := range qs {
 		op := qs[i].Op
 		if !seen[op] {
 			seen[op] = true
-			h.PerOp[op] = m.MarginalProb(op)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h.PerOp[op] = m.MarginalProb(op) // disjoint index per goroutine
+			}()
 		}
-		d := math.Log1p(-h.PerOp[op]) // -Inf at hazard 1
+	}
+	wg.Wait()
+	sum, comp := 0.0, 0.0
+	for i := range qs {
+		d := math.Log1p(-h.PerOp[qs[i].Op]) // -Inf at hazard 1
 		y := d - comp
 		t := sum + y
 		if math.IsInf(t, -1) {

@@ -3,6 +3,7 @@ package fi
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/circuit"
@@ -333,6 +334,41 @@ func TestFirstFaultBatchBitIdentical(t *testing.T) {
 			}
 			if name == "A" && sem == FlipBit && len(batch) == 0 {
 				t.Fatalf("batch produced no faulting trials — fixture too weak to test anything")
+			}
+		}
+	}
+}
+
+// TestBuildHazardConcurrentBitIdentical pins the parallel marginal
+// fan-out inside BuildHazard: concurrent constructions over one model
+// must produce bit-identical tables (each PerOp value is the same
+// float64 whichever goroutine computes it, and the sequential Kahan
+// fold never reorders), and the construction itself must be race-free
+// under the detector.
+func TestBuildHazardConcurrentBitIdentical(t *testing.T) {
+	qs := hazardQueries(3000)
+	for name, m := range hazardModels(t, FlipBit, Independent) {
+		const n = 4
+		tables := make([]*Hazard, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				tables[i] = BuildHazard(m, qs)
+			}(i)
+		}
+		wg.Wait()
+		for i := 1; i < n; i++ {
+			for op, p := range tables[i].PerOp {
+				if p != tables[0].PerOp[op] {
+					t.Fatalf("%s: build %d PerOp[%d] = %v, build 0 = %v", name, i, op, p, tables[0].PerOp[op])
+				}
+			}
+			for k, v := range tables[i].LogSurv {
+				if v != tables[0].LogSurv[k] {
+					t.Fatalf("%s: build %d LogSurv[%d] = %v, build 0 = %v", name, i, k, v, tables[0].LogSurv[k])
+				}
 			}
 		}
 	}

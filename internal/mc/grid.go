@@ -8,6 +8,7 @@ package mc
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/artifact"
 	"repro/internal/bench"
@@ -112,6 +113,14 @@ type Grid struct {
 	// consults it before scheduling a cell.
 	Store  *artifact.Store
 	Resume bool
+	// SerialResolve forces the pre-pipelining reference path: cells are
+	// resolved strictly one at a time in enumeration order on the
+	// calling goroutine, and the trial engine only starts after the
+	// last cell resolved. Kept (like SweepSerial and RunFull) as the
+	// differential baseline the concurrent resolver is pinned against
+	// and as the denominator of the cold-grid benchmarks; results are
+	// bit-identical either way.
+	SerialResolve bool
 }
 
 // Cells enumerates the grid's coordinates in their fixed evaluation
@@ -203,102 +212,297 @@ func (g Grid) Run() ([]CellResult, error) {
 	return g.RunContext(context.Background())
 }
 
-// RunContext evaluates the grid under a context. Cancellation is
-// honoured at cell-resolution boundaries (before each model build /
-// golden run, which can be expensive on a cold cache) and at trial
-// granularity inside the engine: no new trials are scheduled, in-flight
-// trials finish, and the run returns ctx's error. Cells that completed
-// before the cancellation are already checkpointed when a store is
-// attached, so a resubmitted grid resumes past them.
+// resolvedCell is the outcome of resolving one grid coordinate: a
+// checkpointed Point loaded from the store (cached), a pointState
+// ready for the trial engine, or the cell's resolution error.
+type resolvedCell struct {
+	cached bool
+	pt     Point
+	ps     *pointState
+	err    error
+}
+
+// resolver turns grid coordinates into engine-ready pointStates. It is
+// safe for concurrent use: the per-benchmark artifacts (program
+// digest, golden execution context) are per-key singleflight — the
+// first cell of a benchmark to arrive computes them, concurrent cells
+// of the same benchmark block on that one computation — and the
+// model/golden/hazard caches inside core.System are singleflight
+// themselves, so N racing cells never duplicate a build.
+type resolver struct {
+	s           Spec
+	store       *artifact.Store
+	resume      bool
+	fingerprint string
+
+	mu      sync.Mutex
+	digests map[string]*digestEntry
+	ctxs    map[string]*benchCtxEntry
+}
+
+// digestEntry is the singleflight slot of one benchmark's program
+// digest.
+type digestEntry struct {
+	once   sync.Once
+	digest string
+	err    error
+}
+
+// benchCtxEntry is the singleflight slot of one benchmark's shared
+// execution context (assembled program, golden run, watchdog budget).
+type benchCtxEntry struct {
+	once sync.Once
+	bctx *benchCtx
+	err  error
+}
+
+func newResolver(s Spec, g Grid) *resolver {
+	r := &resolver{
+		s: s, store: g.Store, resume: g.Resume,
+		digests: map[string]*digestEntry{},
+		ctxs:    map[string]*benchCtxEntry{},
+	}
+	if g.Store != nil {
+		r.fingerprint = s.System.Fingerprint()
+	}
+	return r
+}
+
+// digest returns the benchmark's program digest, computing it once per
+// benchmark.
+func (r *resolver) digest(b *bench.Benchmark) (string, error) {
+	r.mu.Lock()
+	e, ok := r.digests[b.Name]
+	if !ok {
+		e = &digestEntry{}
+		r.digests[b.Name] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.digest, e.err = core.BenchDigest(b, r.s.InputSeed) })
+	return e.digest, e.err
+}
+
+// benchCtx returns the benchmark's shared execution context, running
+// (or loading) its golden execution once per benchmark.
+func (r *resolver) benchCtx(b *bench.Benchmark) (*benchCtx, error) {
+	r.mu.Lock()
+	e, ok := r.ctxs[b.Name]
+	if !ok {
+		e = &benchCtxEntry{}
+		r.ctxs[b.Name] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.bctx, e.err = newBenchCtx(r.s, b) })
+	return e.bctx, e.err
+}
+
+// resolve materializes one cell: a resumed cell comes back as its
+// checkpointed Point, every other cell gets its (cached) model, its
+// benchmark context, and — on the sampling path — its hazard table.
+// The result is a pure function of the cell (all shared state lives in
+// singleflight caches), so concurrent resolution of any subset of the
+// grid yields exactly what serial resolution would have.
+func (r *resolver) resolve(c Cell) resolvedCell {
+	var key string
+	if r.store != nil {
+		digest, err := r.digest(c.Bench)
+		if err != nil {
+			return resolvedCell{err: err}
+		}
+		key = cellKey(r.fingerprint, digest, r.s, c)
+		if r.resume {
+			if pt, ok := loadCell(r.store, key); ok {
+				return resolvedCell{cached: true, pt: pt}
+			}
+		}
+	}
+	model, err := r.s.System.Model(c.Model)
+	if err != nil {
+		return resolvedCell{err: err}
+	}
+	bctx, err := r.benchCtx(c.Bench)
+	if err != nil {
+		return resolvedCell{err: err}
+	}
+	ps := &pointState{cell: c, ctx: bctx, model: model, key: key}
+	if (r.s.Mode == ModeAuto || r.s.Mode == ModeFirstFault) && bctx.golden != nil {
+		// First-fault sampling: fetch (or build and cache) the cell's
+		// hazard table over the shared golden trace. Every built-in
+		// model is a HazardModel; the type assertion keeps custom
+		// injectors on the scan path instead of failing.
+		if hm, ok := model.(fi.HazardModel); ok {
+			hz, err := r.s.System.Hazard(c.Bench, r.s.InputSeed, c.Model)
+			if err != nil {
+				return resolvedCell{err: err}
+			}
+			ps.hazModel, ps.hazard = hm, hz
+		}
+	}
+	// ModeAuto runs the hazard-backed cells batched; ModeFirstFault
+	// keeps the per-trial path as the differential reference.
+	ps.batched = r.s.Mode == ModeAuto && ps.hazard != nil
+	return resolvedCell{ps: ps}
+}
+
+// RunContext evaluates the grid under a context.
+//
+// Cell resolution — model construction, golden recording, hazard-table
+// building, the expensive cold-cache prelude — runs on a bounded pool
+// of Spec.Workers resolver goroutines and is pipelined with execution:
+// each resolved cell streams into the trial engine as it lands, in
+// enumeration order, so trials for early cells overlap resolution of
+// later ones. Committing in enumeration order preserves the serial
+// semantics exactly: the first invalid cell still ends the grid with
+// the valid prefix's results intact, and every cell's Point is
+// bit-identical to the serial resolver's (Grid.SerialResolve), pinned
+// by the differential tests.
+//
+// Cancellation is honoured at cell-resolution boundaries (no further
+// cells are committed) and at trial granularity inside the engine: no
+// new trials are scheduled, in-flight trials finish, and the run
+// returns ctx's error. Cells that completed before the cancellation
+// are already checkpointed when a store is attached, so a resubmitted
+// grid resumes past them.
 func (g Grid) RunContext(ctx context.Context) ([]CellResult, error) {
 	s := g.Spec.withDefaults()
 	cells := g.Cells()
-	results := make([]CellResult, 0, len(cells))
-	var fingerprint string
-	if g.Store != nil {
-		fingerprint = s.System.Fingerprint()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := newResolver(s, g)
+	eng := newEngine(s, g.Store)
+
+	if g.SerialResolve {
+		return g.runSerialResolve(ctx, s, cells, r, eng)
 	}
 
-	// Resolve every cell in enumeration order: resumed cells come from
-	// the store, the rest get their (cached) model and benchmark context
-	// and queue for the engine. The first invalid cell — unbuildable
-	// model or failing golden run — ends the enumeration with the valid
-	// prefix intact (the queued prefix still runs below).
-	var live []*pointState
+	// Resolution pool: each worker pulls the next unresolved cell index
+	// and parks the outcome in that cell's slot. Slots are buffered so
+	// a worker never blocks on the committer (each slot receives
+	// exactly one send), and rcancel turns the tail of the queue into
+	// cheap error sends once the committer has stopped consuming.
+	n := len(cells)
+	slots := make([]chan resolvedCell, n)
+	for i := range slots {
+		slots[i] = make(chan resolvedCell, 1)
+	}
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	workers := s.Workers
+	if workers > n {
+		workers = n
+	}
+	var rwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for i := range idx {
+				if err := rctx.Err(); err != nil {
+					slots[i] <- resolvedCell{err: err}
+					continue
+				}
+				slots[i] <- r.resolve(cells[i])
+			}
+		}()
+	}
+
+	// The committer walks the slots in enumeration order — cached cells
+	// append their checkpointed Point, live cells stream into the
+	// engine — and stops at the first resolution error or cancellation,
+	// exactly like the serial loop. Sealing the engine (deferred) is
+	// what lets the trial pool retire once the streamed cells are done.
+	results := make([]CellResult, 0, n)
 	var liveIdx []int
-	ctxs := map[string]*benchCtx{}
-	digests := map[string]string{}
+	var modelErr, cancelErr error
+	commitDone := make(chan struct{})
+	go func() {
+		defer close(commitDone)
+		defer eng.seal()
+		defer rcancel()
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				cancelErr = err
+				return
+			}
+			rc := <-slots[i]
+			if rc.err != nil {
+				// A worker that observed rctx done reports rctx.Err(),
+				// which after an error-triggered rcancel would be
+				// context.Canceled even though the caller's ctx is live;
+				// only the caller's own cancellation is a cancellation.
+				if err := ctx.Err(); err != nil {
+					cancelErr = err
+				} else {
+					modelErr = rc.err
+				}
+				return
+			}
+			if rc.cached {
+				results = append(results, CellResult{
+					Bench: cells[i].Bench.Name, Model: cells[i].Model, Cached: true, Point: rc.pt,
+				})
+				continue
+			}
+			eng.addPoint(rc.ps)
+			results = append(results, CellResult{Bench: cells[i].Bench.Name, Model: cells[i].Model})
+			liveIdx = append(liveIdx, len(results)-1)
+		}
+	}()
+
+	pts, engErr := eng.run(ctx)
+	<-commitDone
+	rwg.Wait()
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+	if engErr != nil {
+		return nil, engErr
+	}
+	for i, pt := range pts {
+		results[liveIdx[i]].Point = pt
+	}
+	return results, modelErr
+}
+
+// runSerialResolve is the pre-pipelining reference: resolve every cell
+// in enumeration order on this goroutine, then run the engine over the
+// fully resolved set.
+func (g Grid) runSerialResolve(ctx context.Context, s Spec, cells []Cell, r *resolver, eng *engine) ([]CellResult, error) {
+	results := make([]CellResult, 0, len(cells))
+	var liveIdx []int
 	var modelErr error
 	for _, c := range cells {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		var key string
-		if g.Store != nil {
-			digest, ok := digests[c.Bench.Name]
-			if !ok {
-				var err error
-				if digest, err = core.BenchDigest(c.Bench, s.InputSeed); err != nil {
-					modelErr = err
-					break
-				}
-				digests[c.Bench.Name] = digest
-			}
-			key = cellKey(fingerprint, digest, s, c)
-			if g.Resume {
-				if pt, ok := loadCell(g.Store, key); ok {
-					results = append(results, CellResult{
-						Bench: c.Bench.Name, Model: c.Model, Cached: true, Point: pt,
-					})
-					continue
-				}
-			}
-		}
-		model, err := s.System.Model(c.Model)
-		if err != nil {
-			modelErr = err
+		rc := r.resolve(c)
+		if rc.err != nil {
+			modelErr = rc.err
 			break
 		}
-		ctx, ok := ctxs[c.Bench.Name]
-		if !ok {
-			ctx, err = newBenchCtx(s, c.Bench)
-			if err != nil {
-				modelErr = err
-				break
-			}
-			ctxs[c.Bench.Name] = ctx
+		if rc.cached {
+			results = append(results, CellResult{
+				Bench: c.Bench.Name, Model: c.Model, Cached: true, Point: rc.pt,
+			})
+			continue
 		}
-		ps := &pointState{cell: c, ctx: ctx, model: model, key: key}
-		if (s.Mode == ModeAuto || s.Mode == ModeFirstFault) && ctx.golden != nil {
-			// First-fault sampling: fetch (or build and cache) the cell's
-			// hazard table over the shared golden trace. Every built-in
-			// model is a HazardModel; the type assertion keeps custom
-			// injectors on the scan path instead of failing.
-			if hm, ok := model.(fi.HazardModel); ok {
-				hz, err := s.System.Hazard(c.Bench, s.InputSeed, c.Model)
-				if err != nil {
-					modelErr = err
-					break
-				}
-				ps.hazModel, ps.hazard = hm, hz
-			}
-		}
-		// ModeAuto runs the hazard-backed cells batched; ModeFirstFault
-		// keeps the per-trial path as the differential reference.
-		ps.batched = s.Mode == ModeAuto && ps.hazard != nil
-		live = append(live, ps)
+		eng.addPoint(rc.ps)
 		results = append(results, CellResult{Bench: c.Bench.Name, Model: c.Model})
 		liveIdx = append(liveIdx, len(results)-1)
 	}
-
-	if len(live) > 0 {
-		pts, err := newEngine(s, live, g.Store).run(ctx)
-		if err != nil {
-			return nil, err
-		}
-		for i, pt := range pts {
-			results[liveIdx[i]].Point = pt
-		}
+	eng.seal()
+	pts, err := eng.run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range pts {
+		results[liveIdx[i]].Point = pt
 	}
 	return results, modelErr
 }

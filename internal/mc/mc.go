@@ -388,9 +388,11 @@ const maxChunk = 64
 
 // workItem is one unit handed out by the engine scheduler: a single
 // trial (the scan/full/per-trial-first-fault paths), a planning pass
-// over a batched window, or a chunk of planned faulting trials.
+// over a batched window, or a chunk of planned faulting trials. It
+// carries the pointState pointer itself — e.pts grows while cells
+// stream in, so workers must not index it outside the engine mutex.
 type workItem struct {
-	pi               int
+	p                *pointState
 	ti               int
 	plan             bool
 	planFrom, planTo int
@@ -400,40 +402,69 @@ type workItem struct {
 // engine is the grid-level scheduler: one shared pool of workers pulls
 // (cell, trial) items across all cells of a grid, and adaptive cells
 // extend their own targets at batch boundaries.
+//
+// Points stream in: the engine starts empty, addPoint hands it each
+// resolved cell as the resolver produces it (trials for early cells
+// overlap resolution of later cells), and seal marks the stream
+// complete — only then may the workers retire once every point is
+// done.
 type engine struct {
 	s     Spec
-	pts   []*pointState
 	store *artifact.Store // nil when cells are not checkpointed
+
+	maxTrials int // per-point result capacity (adaptive ceiling)
+	initial   int // per-point initial target (first batch)
 
 	mu          sync.Mutex
 	cond        *sync.Cond
+	pts         []*pointState // grows via addPoint until sealed
+	sealed      bool          // no further addPoint calls will arrive
 	err         error
 	doneTrials  int
 	totalTrials int
 	donePoints  int
 }
 
-func newEngine(s Spec, pts []*pointState, store *artifact.Store) *engine {
-	e := &engine{s: s, pts: pts, store: store}
+func newEngine(s Spec, store *artifact.Store) *engine {
+	e := &engine{s: s, store: store, maxTrials: s.Trials, initial: s.Trials}
 	e.cond = sync.NewCond(&e.mu)
-
-	maxTrials := s.Trials
-	initial := s.Trials
 	if s.adaptive() {
-		maxTrials = s.TrialsMax
-		initial = s.TrialsMin
-	}
-	for _, p := range pts {
-		p.results = make([]trialResult, maxTrials)
-		p.target = initial
-		e.totalTrials += initial
+		e.maxTrials = s.TrialsMax
+		e.initial = s.TrialsMin
 	}
 	return e
 }
 
+// addPoint streams one resolved cell into the scheduler; waiting
+// workers pick its trials up immediately. Points must be added in the
+// grid's enumeration order (results are aggregated positionally), but
+// that order has no effect on any point's numbers — trial RNG depends
+// only on (Seed, trial index).
+func (e *engine) addPoint(p *pointState) {
+	p.results = make([]trialResult, e.maxTrials)
+	p.target = e.initial
+	e.mu.Lock()
+	e.pts = append(e.pts, p)
+	e.totalTrials += e.initial
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// seal marks the point stream complete: once every streamed point is
+// done the workers retire. Without it the pool would block forever
+// waiting for more cells.
+func (e *engine) seal() {
+	e.mu.Lock()
+	e.sealed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
 // take hands out the next work item, blocking while all points are
-// between batches (or waiting on a planning pass). It returns false
-// when the sweep is complete or aborted.
+// between batches (or waiting on a planning pass, or while the
+// resolver has not yet streamed in more cells). It returns false when
+// the sweep is complete (all streamed points done and the stream
+// sealed) or aborted.
 func (e *engine) take() (workItem, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -442,16 +473,16 @@ func (e *engine) take() (workItem, bool) {
 			return workItem{}, false
 		}
 		allDone := true
-		for i, p := range e.pts {
+		for _, p := range e.pts {
 			if p.batched {
 				if len(p.pending) > 0 {
 					ch := p.pending[0]
 					p.pending = p.pending[1:]
-					return workItem{pi: i, chunk: ch}, true
+					return workItem{p: p, chunk: ch}, true
 				}
 				if !p.planning && p.planned < p.target {
 					p.planning = true
-					return workItem{pi: i, plan: true, planFrom: p.planned, planTo: p.target}, true
+					return workItem{p: p, plan: true, planFrom: p.planned, planTo: p.target}, true
 				}
 				if !p.done {
 					allDone = false
@@ -461,13 +492,13 @@ func (e *engine) take() (workItem, bool) {
 			if p.next < p.target {
 				ti := p.next
 				p.next++
-				return workItem{pi: i, ti: ti}, true
+				return workItem{p: p, ti: ti}, true
 			}
 			if !p.done {
 				allDone = false
 			}
 		}
-		if allDone {
+		if allDone && e.sealed {
 			return workItem{}, false
 		}
 		e.cond.Wait()
@@ -512,9 +543,8 @@ func (e *engine) decide(p *pointState) bool {
 // closes the point or extends its target by another batch. A point that
 // closes cleanly is checkpointed to the artifact store (when one is
 // attached) so an interrupted grid can resume past it.
-func (e *engine) complete(pi, ti int, r trialResult) {
+func (e *engine) complete(p *pointState, ti int, r trialResult) {
 	e.mu.Lock()
-	p := e.pts[pi]
 	p.results[ti] = r
 	p.completed++
 	e.doneTrials++
@@ -571,15 +601,14 @@ func (e *engine) complete(pi, ti int, r trialResult) {
 // runTrial executes one trial on a worker-private memory: first-fault
 // sampling when the cell holds a hazard table, the replay scan when it
 // holds only a golden trace, full execution otherwise.
-func (e *engine) runTrial(m *mem.Memory, pi, ti int) trialResult {
-	p := e.pts[pi]
+func (e *engine) runTrial(m *mem.Memory, p *pointState, ti int) trialResult {
 	if p.hazard != nil {
-		return e.runTrialFirstFault(m, pi, ti)
+		return e.runTrialFirstFault(m, p, ti)
 	}
 	if p.ctx.golden != nil {
-		return e.runTrialReplay(m, pi, ti)
+		return e.runTrialReplay(m, p, ti)
 	}
-	return e.runTrialFull(m, pi, ti)
+	return e.runTrialFull(m, p, ti)
 }
 
 // runTrialFirstFault decides the trial in O(log n): one uniform draw
@@ -592,9 +621,8 @@ func (e *engine) runTrial(m *mem.Memory, pi, ti int) trialResult {
 // so results are deterministic and schedule-independent; they are
 // statistically equivalent to — not bit-identical with — the scan path,
 // whose RNG advances through every fault-free query.
-func (e *engine) runTrialFirstFault(m *mem.Memory, pi, ti int) trialResult {
+func (e *engine) runTrialFirstFault(m *mem.Memory, p *pointState, ti int) trialResult {
 	s := e.s
-	p := e.pts[pi]
 	ctx := p.ctx
 	var r trialResult
 	rng := stats.NewTrialRand(stats.SubSeed(s.Seed, ti))
@@ -628,8 +656,7 @@ func (e *engine) runTrialFirstFault(m *mem.Memory, pi, ti int) trialResult {
 // chunks for the workers. Chunk geometry depends only on (window,
 // Workers), never on the schedule, and trials are independent, so
 // results are invariant under both.
-func (e *engine) plan(pi, from, to int) {
-	p := e.pts[pi]
+func (e *engine) plan(p *pointState, from, to int) {
 	ctx := p.ctx
 	rngs := make([]*rand.Rand, to-from)
 	for i := range rngs {
@@ -680,7 +707,7 @@ func (e *engine) plan(pi, from, to int) {
 	}
 	for i := from; i < to; i++ {
 		if !faulted[i-from] {
-			e.complete(pi, i, clean)
+			e.complete(p, i, clean)
 		}
 	}
 }
@@ -695,16 +722,15 @@ func (e *engine) plan(pi, from, to int) {
 // restoring the nearest checkpoint and replaying golden values up to q
 // (pinned by cpu's TestForkMatchesRestore), so every trial's outcome
 // matches the per-trial first-fault path exactly.
-func (e *engine) runChunk(m, wm *mem.Memory, pi int, ch *trialChunk) {
+func (e *engine) runChunk(m, wm *mem.Memory, p *pointState, ch *trialChunk) {
 	s := e.s
-	p := e.pts[pi]
 	ctx := p.ctx
 	cp := ctx.golden.Trace.CheckpointBefore(ch.trials[0].fork.Query)
 	wm.Reset()
 	walker := cpu.New(wm, nil, s.System.Cfg.CPU)
 	if err := walker.Restore(ctx.golden.Prog, ctx.golden.Trace, cp); err != nil {
 		for _, t := range ch.trials {
-			e.complete(pi, t.ti, trialResult{err: err})
+			e.complete(p, t.ti, trialResult{err: err})
 		}
 		return
 	}
@@ -716,7 +742,7 @@ func (e *engine) runChunk(m, wm *mem.Memory, pi int, ch *trialChunk) {
 			return
 		}
 		if st := walker.RunToQuery(uint64(t.fork.Query)); st != cpu.StatusRunning {
-			e.complete(pi, t.ti, trialResult{err: fmt.Errorf(
+			e.complete(p, t.ti, trialResult{err: fmt.Errorf(
 				"mc: golden walker ended %v before query %d", st, t.fork.Query)})
 			continue
 		}
@@ -724,7 +750,7 @@ func (e *engine) runChunk(m, wm *mem.Memory, pi int, ch *trialChunk) {
 		fc := walker.Fork(m, fi.NewForkInjector(p.hazModel.NewTrial(t.rng), t.fork.Query, t.fork))
 		fc.SetWatchdog(ctx.watchdog)
 		st := fc.Run()
-		e.complete(pi, t.ti, e.finishTrial(ctx, fc, m, ctx.golden.Prog, ctx.golden.Want, st))
+		e.complete(p, t.ti, e.finishTrial(ctx, fc, m, ctx.golden.Prog, ctx.golden.Want, st))
 	}
 }
 
@@ -735,9 +761,8 @@ func (e *engine) runChunk(m, wm *mem.Memory, pi int, ch *trialChunk) {
 // runTrialFull for the same seed (the RNG stream, the injector argument
 // sequence, and the resumed architectural state all match the full run
 // exactly).
-func (e *engine) runTrialReplay(m *mem.Memory, pi, ti int) trialResult {
+func (e *engine) runTrialReplay(m *mem.Memory, p *pointState, ti int) trialResult {
 	s := e.s
-	p := e.pts[pi]
 	ctx := p.ctx
 	var r trialResult
 	rng := stats.NewTrialRand(stats.SubSeed(s.Seed, ti))
@@ -764,9 +789,8 @@ func (e *engine) runTrialReplay(m *mem.Memory, pi, ti int) trialResult {
 
 // runTrialFull executes one fault-injected trial from the reset vector —
 // the reference implementation the replay path must match bit for bit.
-func (e *engine) runTrialFull(m *mem.Memory, pi, ti int) trialResult {
+func (e *engine) runTrialFull(m *mem.Memory, p *pointState, ti int) trialResult {
 	s := e.s
-	p := e.pts[pi]
 	ctx := p.ctx
 	var r trialResult
 	rng := stats.NewTrialRand(stats.SubSeed(s.Seed, ti))
@@ -847,17 +871,11 @@ func (e *engine) run(ctx context.Context) ([]Point, error) {
 			}
 		}()
 	}
-	// Cap the pool by the largest amount of work the grid can ever
-	// hold (adaptive points may grow past the initial totalTrials), not
-	// by the initial batch sizes.
-	maxWork := 0
-	for _, p := range e.pts {
-		maxWork += len(p.results)
-	}
+	// The pool runs at full width from the start: cells stream in while
+	// workers are already up, so the total amount of work is unknown
+	// here. An idle worker parks in take() until a point arrives or the
+	// stream seals.
 	workers := e.s.Workers
-	if workers > maxWork {
-		workers = maxWork
-	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -866,20 +884,34 @@ func (e *engine) run(ctx context.Context) ([]Point, error) {
 			m := newMem()
 			var wm *mem.Memory // walker memory, lazily built for chunks
 			for {
+				// Poll the context synchronously between items: the watcher
+				// alone covers parked workers, but a hot worker on a busy
+				// machine could otherwise race through the remaining items
+				// before the watcher goroutine is ever scheduled, turning a
+				// mid-run cancellation into a spuriously "whole" grid.
+				if err := ctx.Err(); err != nil {
+					e.mu.Lock()
+					if e.err == nil {
+						e.err = err
+					}
+					e.cond.Broadcast()
+					e.mu.Unlock()
+					return
+				}
 				it, ok := e.take()
 				if !ok {
 					return
 				}
 				switch {
 				case it.plan:
-					e.plan(it.pi, it.planFrom, it.planTo)
+					e.plan(it.p, it.planFrom, it.planTo)
 				case it.chunk != nil:
 					if wm == nil {
 						wm = newMem()
 					}
-					e.runChunk(m, wm, it.pi, it.chunk)
+					e.runChunk(m, wm, it.p, it.chunk)
 				default:
-					e.complete(it.pi, it.ti, e.runTrial(m, it.pi, it.ti))
+					e.complete(it.p, it.ti, e.runTrial(m, it.p, it.ti))
 				}
 			}
 		}()
@@ -893,6 +925,10 @@ func (e *engine) run(ctx context.Context) ([]Point, error) {
 	}
 	e.mu.Lock()
 	err := e.err
+	// Workers only retire once the stream is sealed (or on abort), so
+	// this snapshot covers every point the committer handed over; grab
+	// it under the lock since an aborted run can race a late addPoint.
+	pts := e.pts
 	e.mu.Unlock()
 	if err != nil {
 		// A cancellation that landed only after every cell had closed
@@ -900,7 +936,7 @@ func (e *engine) run(ctx context.Context) ([]Point, error) {
 		// what an uncancelled run would have produced (decide runs before
 		// the error check in complete, so no cell was closed early).
 		whole := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
-		for _, p := range e.pts {
+		for _, p := range pts {
 			if !p.done {
 				whole = false
 				break
@@ -910,15 +946,15 @@ func (e *engine) run(ctx context.Context) ([]Point, error) {
 			return nil, err
 		}
 	}
-	pts := make([]Point, 0, len(e.pts))
-	for _, p := range e.pts {
+	out := make([]Point, 0, len(pts))
+	for _, p := range pts {
 		pt, err := aggregate(p.cell.Model.FreqMHz, p.results[:p.target])
 		if err != nil {
 			return nil, err
 		}
-		pts = append(pts, pt)
+		out = append(out, pt)
 	}
-	return pts, nil
+	return out, nil
 }
 
 // aggregate folds raw trial results (in trial-index order) into the
