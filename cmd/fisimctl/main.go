@@ -26,13 +26,11 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -73,8 +71,6 @@ func main() {
 				fmt.Fprintf(os.Stderr, "fisimctl: "+format+"\n", a...)
 			},
 		}),
-		base:   strings.TrimRight(*addr, "/"),
-		apiKey: *apiKey,
 	}
 	var err error
 	switch args[0] {
@@ -108,10 +104,8 @@ func envOr(k, def string) string {
 }
 
 type ctl struct {
-	ctx    context.Context
-	api    *client.Client
-	base   string // for the raw SSE stream, which bypasses the retry layer
-	apiKey string
+	ctx context.Context
+	api *client.Client
 }
 
 func (c *ctl) submit(args []string) error {
@@ -208,40 +202,17 @@ func (c *ctl) result(args []string) error {
 }
 
 // watch prints the SSE progress stream line by line until the terminal
-// "done" event. The stream bypasses the retry layer (a reconnect would
-// re-deliver history anyway — each event is a full snapshot).
+// "done" event. A dropped stream (daemon drain, connection reset) is
+// reconnected under the client's backoff policy instead of exiting on
+// the first read error; events are full snapshots, so a reconnect loses
+// nothing and at worst repeats the latest line.
 func (c *ctl) watch(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: fisimctl watch <job-id>")
 	}
-	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, c.base+"/v1/jobs/"+args[0]+"/events", nil)
-	if err != nil {
-		return err
-	}
-	if c.apiKey != "" {
-		req.Header.Set("X-API-Key", c.apiKey)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	sc := bufio.NewScanner(resp.Body)
-	var event string
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			event = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			fmt.Printf("%s %s\n", event, strings.TrimPrefix(line, "data: "))
-		}
-	}
-	return sc.Err()
+	return c.api.Watch(c.ctx, args[0], func(event string, data []byte) {
+		fmt.Printf("%s %s\n", event, data)
+	})
 }
 
 func (c *ctl) cancel(args []string) error {

@@ -16,9 +16,18 @@
 // lanes — interactive ahead of batch under a weighted round-robin, with
 // overload shed as 429 + Retry-After instead of a hard queue-full.
 //
+// Distributed execution (see DESIGN.md "Distributed execution"): with
+// -worker the daemon serves the cluster worker protocol instead of the
+// public API, and with -workers=URL,... it becomes a coordinator — jobs
+// are planned locally and their cells executed on the worker set
+// through work-stealing leases, with results bit-identical to the
+// in-process backend for every cluster shape.
+//
 //	fisimd -addr :8023 -cache-dir /var/cache/fisim
 //	fisimd -addr :8023 -parallel 2 -queue 128 -dta 4096
 //	fisimd -addr :8023 -rate 5 -burst 10 -max-active 8 -tenants tenants.json
+//	fisimd -addr :9101 -worker -cache-dir /var/cache/fisim-w1
+//	fisimd -addr :8023 -workers http://localhost:9101,http://localhost:9102
 //
 // See docs/API.md for the HTTP API and cmd/fisimctl for the client.
 // SIGINT/SIGTERM drain gracefully: running and queued jobs finish
@@ -35,10 +44,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/server"
 )
@@ -49,7 +60,12 @@ func main() {
 	addr := flag.String("addr", ":8023", "listen address")
 	cacheDir := flag.String("cache-dir", "", "artifact cache directory (characterizations, traces, hazards, grid cells)")
 	dtaCycles := flag.Int("dta", 8192, "DTA characterization cycles")
-	workers := flag.Int("workers", 0, "mc worker goroutines per job (0 = NumCPU)")
+	trialWorkers := flag.Int("trial-workers", 0, "mc trial-pool goroutines per job (0 = NumCPU)")
+	workerMode := flag.Bool("worker", false, "serve the cluster worker protocol instead of the public API")
+	workerURLs := flag.String("workers", "", "comma-separated worker base URLs; jobs execute on this cluster instead of in-process")
+	leaseCells := flag.Int("lease-cells", 4, "cluster mode: cells per lease")
+	leaseTimeout := flag.Duration("lease-timeout", 5*time.Minute, "cluster mode: per-lease deadline before reassignment")
+	cellDelay := flag.Duration("cell-delay", 0, "worker mode: emulated per-cell service latency (benchmarks only)")
 	parallel := flag.Int("parallel", 1, "jobs executed concurrently")
 	queueCap := flag.Int("queue", 64, "bounded job queue capacity (across lanes)")
 	batchCap := flag.Int("batch-queue", 0, "batch lane queue bound (0 = -queue)")
@@ -77,6 +93,39 @@ func main() {
 		log.Printf("artifact store: %s", store.Dir())
 	}
 
+	if *workerMode {
+		if *workerURLs != "" {
+			log.Fatal("-worker and -workers are mutually exclusive: a node is a worker or a coordinator, not both")
+		}
+		w := &cluster.Worker{System: sys, Store: store, Workers: *trialWorkers, CellDelay: *cellDelay, Logf: log.Printf}
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		log.Printf("worker listening on %s", *addr)
+		if err := cluster.Serve(ctx, *addr, w); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Printf("cache: %s", sys.CacheSummary())
+		return
+	}
+
+	var backend server.Backend
+	if *workerURLs != "" {
+		urls := strings.Split(*workerURLs, ",")
+		for i := range urls {
+			urls[i] = strings.TrimSpace(urls[i])
+		}
+		coord, err := cluster.New(sys, store, urls, cluster.Config{
+			LeaseCells:   *leaseCells,
+			LeaseTimeout: *leaseTimeout,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		backend = coord
+		log.Printf("cluster coordinator: %d workers, %d cells/lease", len(urls), *leaseCells)
+	}
+
 	tenants := server.TenantsConfig{
 		Default: server.TenantConfig{Rate: *rate, Burst: *burst, MaxActive: *maxActive},
 	}
@@ -94,6 +143,7 @@ func main() {
 	m := server.NewManager(server.Options{
 		System:   sys,
 		Store:    store,
+		Backend:  backend,
 		QueueCap: *queueCap,
 		Lanes: map[string]server.LaneConfig{
 			server.LaneInteractive: {Cap: *interactiveCap, Weight: *interactiveWeight},
@@ -101,7 +151,7 @@ func main() {
 		},
 		Tenants:  tenants,
 		Parallel: *parallel,
-		Workers:  *workers,
+		Workers:  *trialWorkers,
 		KeepJobs: *keepJobs,
 	})
 	srv := &http.Server{Addr: *addr, Handler: server.Handler(m)}

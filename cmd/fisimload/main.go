@@ -64,7 +64,7 @@ func main() {
 		Base: *addr,
 		Lanes: []loadgen.LaneLoad{
 			{Priority: "interactive", Rate: *iRate, Jobs: *iJobs, APIKey: *iKey, Spec: spec("interactive", *seed)},
-			{Priority: "batch", Rate: *bRate, Jobs: *bJobs, APIKey: *bKey, Spec: spec("batch", *seed + 1_000_000)},
+			{Priority: "batch", Rate: *bRate, Jobs: *bJobs, APIKey: *bKey, Spec: spec("batch", *seed+1_000_000)},
 		},
 		WaitTimeout: *waitTimeout,
 		Seed:        *seed,

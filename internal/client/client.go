@@ -16,6 +16,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	crand "crypto/rand"
@@ -293,6 +294,94 @@ func parseLastRetryAfter(err error) time.Duration {
 		return c.RetryAfterHint()
 	}
 	return 0
+}
+
+// Do issues one API request through the retry layer and returns the
+// successful response (body unread — the caller owns closing it). It is
+// the building block the cluster coordinator drives worker leases with:
+// every coordinator→worker call gets the same backoff, Retry-After and
+// replay discipline as the public API calls, and callers that stream
+// the response (NDJSON lease events, SSE) take over once the connection
+// is established. The body must be replayable as given, which is why it
+// is a byte slice, not a reader.
+func (c *Client) Do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	return c.do(ctx, method, path, body)
+}
+
+// Watch follows a job's SSE progress stream, invoking onEvent for every
+// event, until the terminal "done" event (nil), ctx expires, or the job
+// disappears (a permanent API error, e.g. 404 after a daemon restart).
+// A dropped stream — connection reset, daemon drain closing the stream
+// mid-job — is reconnected under the client's backoff policy instead of
+// surfacing the read error: every SSE event is a full snapshot and a
+// terminal job re-delivers its "done" event on attach, so a reconnect
+// loses nothing. MaxAttempts bounds *consecutive* failed reconnects;
+// any delivered event resets the budget.
+func (c *Client) Watch(ctx context.Context, id string, onEvent func(event string, data []byte)) error {
+	failures := 0
+	var lastErr error
+	for {
+		if failures > 0 {
+			if failures >= c.cfg.MaxAttempts {
+				return fmt.Errorf("client: stream lost after %d reconnect attempts: %w", failures, lastErr)
+			}
+			d := c.backoff(failures-1, parseLastRetryAfter(lastErr))
+			if c.cfg.Logf != nil {
+				c.cfg.Logf("stream reconnect %d/%d in %s: %v", failures, c.cfg.MaxAttempts-1, d.Round(time.Millisecond), lastErr)
+			}
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return fmt.Errorf("%w (last error: %v)", ctx.Err(), lastErr)
+			}
+		}
+		resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil)
+		if err != nil {
+			// do already retried transient failures; what comes back is
+			// permanent (bad ID, ctx done) or out of attempts.
+			return err
+		}
+		done, delivered, err := c.scanSSE(resp.Body, onEvent)
+		resp.Body.Close()
+		if done {
+			return nil
+		}
+		if delivered {
+			failures = 0
+		}
+		failures++
+		if err == nil {
+			// Clean EOF without a terminal event: the daemon ended the
+			// stream early (drain). The job may still be running; resume.
+			err = fmt.Errorf("client: event stream ended before job %s was terminal", id)
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return fmt.Errorf("%w (last error: %v)", ctx.Err(), lastErr)
+		}
+	}
+}
+
+// scanSSE consumes one SSE connection, reporting whether the terminal
+// "done" event arrived and whether any event was delivered at all.
+func (c *Client) scanSSE(r io.Reader, onEvent func(event string, data []byte)) (done, delivered bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			onEvent(event, []byte(strings.TrimPrefix(line, "data: ")))
+			delivered = true
+			if event == "done" {
+				return true, true, nil
+			}
+		}
+	}
+	return false, delivered, sc.Err()
 }
 
 // Submit posts a job spec (any JSON-marshalable value) and returns the

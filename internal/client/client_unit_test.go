@@ -204,3 +204,77 @@ func TestDoGivesUp(t *testing.T) {
 		t.Errorf("gave up after %v; Retry-After hints were not honored", elapsed)
 	}
 }
+
+// TestWatchReconnects drives Watch against a server that drops the
+// stream twice before delivering the terminal event: first mid-stream
+// after one progress snapshot (panic aborts the handler, simulating a
+// daemon drain or connection reset), then with a transient 503. Watch
+// must resume both times under the backoff policy and return nil on
+// "done".
+func TestWatchReconnects(t *testing.T) {
+	var conns atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/j000001/events" {
+			http.NotFound(w, r)
+			return
+		}
+		switch conns.Add(1) {
+		case 1:
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("event: progress\ndata: {\"done\":1,\"total\":4}\n\n"))
+			w.(http.Flusher).Flush()
+			panic(http.ErrAbortHandler) // cut the connection mid-stream
+		case 2:
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		default:
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("event: progress\ndata: {\"done\":4,\"total\":4}\n\n"))
+			w.Write([]byte("event: done\ndata: {\"id\":\"j000001\",\"state\":\"done\"}\n\n"))
+		}
+	}))
+	defer ts.Close()
+
+	c := New(Config{Base: ts.URL, MaxAttempts: 4, BaseDelay: time.Millisecond, Seed: 1})
+	var events []string
+	err := c.Watch(context.Background(), "j000001", func(event string, data []byte) {
+		events = append(events, event)
+	})
+	if err != nil {
+		t.Fatalf("Watch = %v, want nil after reconnects", err)
+	}
+	if conns.Load() != 3 {
+		t.Errorf("connections = %d, want 3 (drop, 503, done)", conns.Load())
+	}
+	want := []string{"progress", "progress", "done"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+// TestWatchPermanentError pins that a missing job is not retried
+// forever: a 404 surfaces immediately as an APIError.
+func TestWatchPermanentError(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c := New(Config{Base: ts.URL, MaxAttempts: 4, BaseDelay: time.Millisecond, Seed: 1})
+	err := c.Watch(context.Background(), "gone", func(string, []byte) {})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("err = %v, want APIError 404", err)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("404 was attempted %d times, want 1", hits.Load())
+	}
+}

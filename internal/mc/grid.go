@@ -212,6 +212,76 @@ func (g Grid) Run() ([]CellResult, error) {
 	return g.RunContext(context.Background())
 }
 
+// PlannedCell is one grid coordinate together with its content-addressed
+// identity: the position in the canonical enumeration (Cells() order),
+// the cell itself, the artifact-store key its Point checkpoints under,
+// and — when the grid has a store and Resume — the checkpointed Point if
+// one exists. It is the planning unit of distributed execution: a
+// coordinator plans a grid once, parcels indices into leases, and merges
+// remotely computed Points back by index, deduplicating duplicate
+// completions by Key.
+type PlannedCell struct {
+	Index int
+	Cell  Cell
+	Key   string
+	// Point is the checkpointed result loaded from the store (Resume
+	// hit); nil for cells that still need computing.
+	Point *Point
+}
+
+// PlanCells resolves the grid's enumeration into planned cells: every
+// coordinate with its content-addressed key (always computed, store or
+// not — the key is what makes results mergeable across machines), plus
+// any already-checkpointed Points when the grid resumes from a store.
+// Planning touches no model, golden or hazard cache; it is cheap enough
+// to run on a coordinator that never executes a trial.
+func (g Grid) PlanCells() ([]PlannedCell, error) {
+	s := g.Spec.withDefaults()
+	cells := g.Cells()
+	fingerprint := s.System.Fingerprint()
+	digests := make(map[string]string)
+	plan := make([]PlannedCell, len(cells))
+	for i, c := range cells {
+		digest, ok := digests[c.Bench.Name]
+		if !ok {
+			var err error
+			digest, err = core.BenchDigest(c.Bench, s.InputSeed)
+			if err != nil {
+				return nil, err
+			}
+			digests[c.Bench.Name] = digest
+		}
+		pc := PlannedCell{Index: i, Cell: c, Key: cellKey(fingerprint, digest, s, c)}
+		if g.Store != nil && g.Resume {
+			if pt, ok := loadCell(g.Store, pc.Key); ok {
+				p := pt
+				pc.Point = &p
+			}
+		}
+		plan[i] = pc
+	}
+	return plan, nil
+}
+
+// RunCells evaluates only the selected cells of the grid — indices into
+// the canonical Cells() enumeration — returning their results in the
+// given order. Each cell's Point is bit-identical to the same cell
+// inside a full-grid run (trial RNG depends only on (Seed, trial
+// index), never on the surrounding grid), which is what lets a cluster
+// worker execute an arbitrary leased subset and a coordinator merge the
+// pieces into exactly the result a single-node run would produce.
+func (g Grid) RunCells(ctx context.Context, indices []int) ([]CellResult, error) {
+	all := g.Cells()
+	cells := make([]Cell, len(indices))
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(all) {
+			return nil, fmt.Errorf("mc: cell index %d out of range (grid has %d cells)", idx, len(all))
+		}
+		cells[i] = all[idx]
+	}
+	return g.runCells(ctx, cells)
+}
+
 // resolvedCell is the outcome of resolving one grid coordinate: a
 // checkpointed Point loaded from the store (cached), a pointState
 // ready for the trial engine, or the cell's resolution error.
@@ -364,8 +434,14 @@ func (r *resolver) resolve(c Cell) resolvedCell {
 // are already checkpointed when a store is attached, so a resubmitted
 // grid resumes past them.
 func (g Grid) RunContext(ctx context.Context) ([]CellResult, error) {
+	return g.runCells(ctx, g.Cells())
+}
+
+// runCells is the engine entry shared by the full-grid path (RunContext)
+// and the subset path (RunCells): resolve and execute exactly the given
+// cells, in the given order.
+func (g Grid) runCells(ctx context.Context, cells []Cell) ([]CellResult, error) {
 	s := g.Spec.withDefaults()
-	cells := g.Cells()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -62,10 +62,10 @@ func waitRunning(t *testing.T, m *Manager, id string) {
 // exactly, spread evenly rather than in bursts.
 func TestSchedulerWeightedFairness(t *testing.T) {
 	cases := []struct {
-		name     string
-		iw, bw   int // lane weights (0 = default)
-		nI, nB   int // jobs pushed per lane
-		wantSeq  string
+		name    string
+		iw, bw  int // lane weights (0 = default)
+		nI, nB  int // jobs pushed per lane
+		wantSeq string
 	}{
 		// Default 4:1 → the repeating period is I,I,B,I,I.
 		{"default-4-1", 0, 0, 8, 2, "IIBIIIIBII"},

@@ -54,6 +54,9 @@ type StatsResponse struct {
 	// Store holds artifact-store hit/miss/put counters when a store is
 	// attached.
 	Store *storeStats `json:"store,omitempty"`
+	// Cluster holds distributed-execution counters when the manager runs
+	// on a cluster coordinator backend (fisimd -workers=...).
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 type storeStats struct {
@@ -216,6 +219,10 @@ func handleStats(m *Manager, w http.ResponseWriter) {
 	if st := m.System().ArtifactStore(); st != nil {
 		s := st.Stats()
 		resp.Store = &storeStats{Hits: s.Hits, Misses: s.Misses, Puts: s.Puts}
+	}
+	if cr, ok := m.Backend().(ClusterReporter); ok {
+		cs := cr.ClusterStats()
+		resp.Cluster = &cs
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -319,6 +319,10 @@ func (m *Manager) Lanes() []LaneStatus { return m.sched.snapshot() }
 // System returns the manager's simulation stack (for cache summaries).
 func (m *Manager) System() *core.System { return m.opt.System }
 
+// Backend returns the manager's execution backend; /v1/stats inspects
+// it for the optional cluster counters.
+func (m *Manager) Backend() Backend { return m.opt.Backend }
+
 // Closing is closed when Shutdown begins; long-polls and progress
 // streams select on it so a drain never waits for client timeouts.
 func (m *Manager) Closing() <-chan struct{} { return m.closing }

@@ -237,12 +237,16 @@ func (s JobSpec) mode() mc.Mode {
 	return m
 }
 
-// grid lowers a canonical spec onto the mc grid engine. The benchmark
-// names were validated by Canonicalize; the store (may be nil) enables
-// cell checkpointing and warm resume, which is what makes a deduped
-// resubmission of a completed grid answer from disk instead of
-// re-running trials.
-func (s JobSpec) grid(sys *core.System, store *artifact.Store, workers int, onProgress func(mc.Progress)) (mc.Grid, error) {
+// Grid lowers a canonical spec onto the mc grid engine. The benchmark
+// names must already be canonical (Canonicalize validates them); the
+// store (may be nil) enables cell checkpointing and warm resume, which
+// is what makes a deduped resubmission of a completed grid answer from
+// disk instead of re-running trials. It is exported for the cluster
+// layer: the coordinator plans a job's cells from the same Grid the
+// in-process backend would run, and every worker lowers the identical
+// canonical spec onto its own System — same fingerprint, same cell
+// keys, bit-identical Points.
+func (s JobSpec) Grid(sys *core.System, store *artifact.Store, workers int, onProgress func(mc.Progress)) (mc.Grid, error) {
 	benches := make([]*bench.Benchmark, len(s.Benches))
 	for i, n := range s.Benches {
 		b, err := bench.ByName(n)

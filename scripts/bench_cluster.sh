@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Tracks the distributed-execution speedup: runs the same cold
+# multi-cell grid through a fisimd coordinator backed by 4 local worker
+# processes and through one backed by a single worker, asserts the two
+# result CSVs are byte-identical, and writes wall times, the speedup
+# ratio, and the coordinator's cluster counters as BENCH_cluster.json
+# at the repo root. CI asserts speedup >= 2.5x from a fresh run.
+#
+# Per-node capacity is emulated: every worker runs with -cell-delay, a
+# fixed sleep per computed cell, so the benchmark measures the cluster
+# machinery — lease distribution, pull/steal scheduling, tail draining,
+# streamed merging — rather than raw CPU parallelism, and produces a
+# stable ratio on any machine including single-core CI runners (where 4
+# CPU-bound local processes could never beat 1). The delay-free compute
+# still runs in full on the cold path (characterization, golden
+# recording, every trial), so the coordinator's overhead is measured
+# against real work, with the service time pinned per node.
+#
+# Each phase gets a fresh worker set with no cache directories and a
+# fresh coordinator, so both phases are fully cold.
+#
+#   ./scripts/bench_cluster.sh             # defaults below
+#   CELL_DELAY=1s TRIALS=8 ./scripts/bench_cluster.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+delay="${CELL_DELAY:-2s}"
+trials="${TRIALS:-16}"
+dta="${DTA:-1024}"
+seed="${SEED:-77}"
+lease_cells="${LEASE_CELLS:-2}"
+
+work="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for p in "${PIDS[@]:-}"; do kill -TERM "$p" 2>/dev/null || true; done
+  for p in "${PIDS[@]:-}"; do wait "$p" 2>/dev/null || true; done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/fisimd" ./cmd/fisimd
+go build -o "$work/fisimctl" ./cmd/fisimctl
+
+wait_healthz() { # url pid log
+  for _ in $(seq 1 150); do
+    curl -sf "$1/v1/healthz" >/dev/null && return 0
+    kill -0 "$2" 2>/dev/null || { cat "$3"; echo "process died" >&2; exit 1; }
+    sleep 0.2
+  done
+  echo "timeout waiting for $1" >&2; cat "$3"; exit 1
+}
+
+stop_all() {
+  for p in "${PIDS[@]:-}"; do kill -TERM "$p" 2>/dev/null || true; done
+  for p in "${PIDS[@]:-}"; do wait "$p" 2>/dev/null || true; done
+  PIDS=()
+}
+
+# run_phase <workers> <tag>: cold worker set + coordinator, one timed
+# cold submit. Leaves the CSV in $work/result-<tag>.csv, the cluster
+# stats in $work/stats-<tag>.json, the wall seconds on stdout.
+run_phase() {
+  local n="$1" tag="$2" urls=() port pid
+  for i in $(seq 1 "$n"); do
+    port=$((19110 + i))
+    "$work/fisimd" -addr "127.0.0.1:$port" -worker -dta "$dta" \
+      -cell-delay "$delay" > "$work/worker$i-$tag.log" 2>&1 &
+    pid=$!; PIDS+=("$pid")
+    urls+=("http://127.0.0.1:$port")
+  done
+  for i in $(seq 1 "$n"); do
+    wait_healthz "${urls[$((i - 1))]}" "${PIDS[$((${#PIDS[@]} - n + i - 1))]}" "$work/worker$i-$tag.log"
+  done
+  local wlist; wlist="$(IFS=,; echo "${urls[*]}")"
+  "$work/fisimd" -addr 127.0.0.1:19100 -dta "$dta" -workers "$wlist" \
+    -lease-cells "$lease_cells" > "$work/coord-$tag.log" 2>&1 &
+  pid=$!; PIDS+=("$pid")
+  wait_healthz "http://127.0.0.1:19100" "$pid" "$work/coord-$tag.log"
+
+  local t0 t1
+  t0=$(date +%s.%N)
+  "$work/fisimctl" -addr http://127.0.0.1:19100 submit \
+    -bench median -model C -sigma 0,0.010 -lo 690 -hi 745 -step 5 \
+    -trials "$trials" -seed "$seed" -wait -format csv \
+    -o "$work/result-$tag.csv" >/dev/null 2>&1
+  t1=$(date +%s.%N)
+  curl -sf "http://127.0.0.1:19100/v1/stats" | jq .cluster > "$work/stats-$tag.json"
+  stop_all
+  echo "$t0 $t1" | awk '{printf "%.2f", $2 - $1}'
+}
+
+# 24 cells (2 sigmas x 12 freqs): at 2 cells per lease the 4-worker
+# phase spreads 12 leases across nodes while the 1-worker phase
+# serializes the same work behind one node's emulated capacity.
+echo "phase: 4 workers (cold)" >&2
+wall4="$(run_phase 4 4w)"
+echo "phase: 1 worker (cold)" >&2
+wall1="$(run_phase 1 1w)"
+
+if ! cmp -s "$work/result-4w.csv" "$work/result-1w.csv"; then
+  echo "FAIL: 4-worker and 1-worker CSVs differ" >&2
+  diff "$work/result-4w.csv" "$work/result-1w.csv" >&2 || true
+  exit 1
+fi
+echo "result CSVs byte-identical across cluster shapes" >&2
+
+jq -n \
+  --argjson wall_1w "$wall1" --argjson wall_4w "$wall4" \
+  --arg delay "$delay" --argjson trials "$trials" --argjson dta "$dta" \
+  --argjson lease_cells "$lease_cells" \
+  --slurpfile s4 "$work/stats-4w.json" --slurpfile s1 "$work/stats-1w.json" \
+  '{
+    grid: {benches: ["median"], models: ["C"], sigmas: [0, 0.010], freqs: "690..745 step 5", cells: 24, trials: $trials, dta_cycles: $dta},
+    cell_delay: $delay,
+    lease_cells: $lease_cells,
+    note: "per-node capacity emulated via -cell-delay (fixed sleep per computed cell), so the ratio measures lease distribution and tail stealing, not CPU parallelism; both phases fully cold",
+    wall_sec_1_worker: $wall_1w,
+    wall_sec_4_workers: $wall_4w,
+    speedup_4w_over_1w: (($wall_1w / $wall_4w) * 100 | round / 100),
+    cluster_4w: $s4[0],
+    cluster_1w: $s1[0]
+  }' > BENCH_cluster.json
+
+cat BENCH_cluster.json
+speedup=$(jq -r .speedup_4w_over_1w BENCH_cluster.json)
+awk -v s="$speedup" 'BEGIN { exit (s >= 2.5 ? 0 : 1) }' || {
+  echo "FAIL: speedup ${speedup}x below the 2.5x acceptance bound" >&2
+  exit 1
+}
+echo "wrote BENCH_cluster.json (speedup ${speedup}x)"
