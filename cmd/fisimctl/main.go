@@ -21,8 +21,11 @@
 // disables retrying.
 //
 // submit prints the job ID (and, with -wait, blocks until the job is
-// terminal and prints the result). Exit status is non-zero on failed or
-// cancelled jobs.
+// terminal and prints the result). Result documents include each
+// point's application-quality distribution (mean/P50/P99 plus a
+// Wilson-style interval) in both the JSON and CSV encodings — see
+// docs/API.md for the field names. Exit status is non-zero on failed
+// or cancelled jobs.
 package main
 
 import (

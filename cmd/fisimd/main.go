@@ -7,7 +7,11 @@
 // persistent artifact store — amortize across the daemon's lifetime:
 // the first job of a benchmark pays characterization, every later job
 // warm-starts, and a resubmitted completed grid answers from cached
-// cells in milliseconds.
+// cells in milliseconds. Result points carry the per-trial
+// application-quality distribution (QualityMean/P50/P99 + a Wilson
+// interval) alongside the boolean verdict; grid-cell checkpoint keys
+// carry a quality class, so cells cached by a pre-quality daemon are
+// recomputed rather than served with zeroed quality fields.
 //
 // Multi-tenant admission control (see docs/API.md "Admission control"):
 // clients are identified by X-API-Key (or remote address), rate-limited

@@ -11,9 +11,18 @@
 // the numbers, and -resume additionally reuses completed cells so an
 // interrupted grid continues where it stopped.
 //
+// Every point carries the per-trial application-quality distribution
+// (mean/P50/P99 + Wilson-style interval) alongside the boolean
+// verdict, and -pareto additionally scores each grid cell under the
+// error-mitigation models (baseline, razor detect-and-replay, coded
+// datapath) and writes the energy-vs-quality Pareto document — the
+// non-dominated operating points per (benchmark × model × Vdd ×
+// sigma) — to the given file in the -format encoding.
+//
 //	sweep -bench kmeans -model C -vdd 0.7 -sigma 0.010 -lo 680 -hi 950 -step 10
 //	sweep -bench median,kmeans -model B+,C -sigma 0,0.010,0.025 -cache-dir .fisim-cache -resume
 //	sweep -bench median -model C -format json -o sweep.json
+//	sweep -bench kmeans -model C -sigma 0.010 -format csv -pareto pareto.csv
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/mc"
+	"repro/internal/mitigate"
 	"repro/internal/progress"
 	"repro/internal/report"
 )
@@ -75,6 +85,7 @@ func main() {
 	resume := flag.Bool("resume", false, "reuse completed grid cells from -cache-dir")
 	format := flag.String("format", "", "machine-readable output: json or csv (default: text tables)")
 	outFile := flag.String("o", "", "write -format output to this file (default stdout)")
+	paretoFile := flag.String("pareto", "", "also write the energy-vs-quality Pareto report (mitigation scenarios per cell) to this file, in the -format encoding (default csv)")
 	quiet := flag.Bool("q", false, "suppress the stderr progress line")
 	flag.Parse()
 
@@ -161,6 +172,19 @@ func main() {
 		}
 	} else {
 		printSeries(sys, series, len(series) > 1, err != nil)
+	}
+	if *paretoFile != "" {
+		rs := mitigate.Evaluate(sys, grid.Spec.InputSeed, cells, mitigate.Options{})
+		pdoc := report.Pareto(report.Meta{
+			Tool: "sweep", Seed: *seed, Cells: len(cells), Cache: *cacheDir,
+		}, rs)
+		pfmt := *format
+		if pfmt == "" {
+			pfmt = "csv"
+		}
+		if werr := report.WriteParetoFile(*paretoFile, os.Stdout, pfmt, pdoc); werr != nil {
+			log.Fatal(werr)
+		}
 	}
 	if err != nil {
 		// A grid crossing an invalid operating point still reports the

@@ -25,6 +25,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fi"
 	"repro/internal/mc"
+	"repro/internal/mitigate"
 	"repro/internal/report"
 	"repro/internal/server"
 )
@@ -70,6 +71,22 @@ type (
 	ReportMeta = report.Meta
 	// ReportSeries is one labelled point series of a Report.
 	ReportSeries = report.Series
+	// MitigationScheme names one error-mitigation model (none, razor
+	// detect-and-replay, coded datapath).
+	MitigationScheme = mitigate.Scheme
+	// MitigationOptions configures the mitigation models (power model,
+	// razor coverage and replay window, coded detection and energy
+	// overhead).
+	MitigationOptions = mitigate.Options
+	// MitigationResult is one evaluated (cell, scheme) outcome:
+	// effective quality and per-trial energy under the scheme.
+	MitigationResult = mitigate.Result
+	// ParetoReport is the energy-vs-quality trade-off document rendered
+	// from mitigation results.
+	ParetoReport = report.ParetoDoc
+	// ParetoSeries is one (benchmark, model, Vdd, sigma) group of a
+	// ParetoReport with its flagged Pareto front.
+	ParetoSeries = report.ParetoSeries
 )
 
 // Fault semantics and sampling modes for ModelSpec.
@@ -147,6 +164,27 @@ func WriteReport(w io.Writer, format string, d *Report) error { return report.Wr
 
 // PoFF locates the point of first failure in a sweep.
 func PoFF(points []Point) (float64, bool) { return mc.PoFF(points) }
+
+// EvaluateMitigation scores every grid cell under every mitigation
+// scheme (baseline, razor detect-and-replay, coded datapath): expected
+// fault pressure from the fi hazard tables where available, effective
+// quality after detect-and-correct, and per-trial energy including the
+// scheme's overhead. sys may be nil to skip the hazard-exact path.
+func EvaluateMitigation(sys *System, inputSeed int64, cells []CellResult, opt MitigationOptions) []MitigationResult {
+	return mitigate.Evaluate(sys, inputSeed, cells, opt)
+}
+
+// ParetoFromResults folds mitigation results into the energy-vs-quality
+// Pareto document, flagging each group's non-dominated operating
+// points.
+func ParetoFromResults(meta ReportMeta, rs []MitigationResult) *ParetoReport {
+	return report.Pareto(meta, rs)
+}
+
+// WriteParetoReport encodes a Pareto document as "json" or "csv".
+func WriteParetoReport(w io.Writer, format string, d *ParetoReport) error {
+	return report.WritePareto(w, format, d)
+}
 
 // The batch-simulation service layer (the fisimd daemon as a library):
 // a JobManager runs grid jobs asynchronously with content-fingerprint

@@ -49,6 +49,15 @@ type Benchmark struct {
 	// Metric maps (got, want) to the paper's output-error value
 	// (percent for relative/mismatch metrics, raw for MSE).
 	Metric func(got, want []uint32) float64
+
+	// QualityName names the benchmark's application-level quality metric
+	// (see quality.go); empty means "bit-exactness", the default.
+	QualityName string
+	// Quality builds the benchmark's quality extractor for one input
+	// seed — extractors that need the input data (the kmeans
+	// distortion) regenerate it from the seed, all others ignore it.
+	// Nil selects BitExactQuality; consume through QualityAt.
+	Quality func(inputSeed int64) QualityFunc
 }
 
 // Outputs extracts the benchmark's output words after a run.

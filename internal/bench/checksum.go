@@ -36,11 +36,12 @@ func Checksum() *Benchmark {
 		MetricName: "output mismatch",
 		// The folding loop compares the 32-bit loop counter; whitening
 		// exercises logic/shift units, which the default profile covers.
-		Profile:   dta.Profile{circuit.UnitCompare: "u32"},
-		OutSymbol: "out",
-		OutWords:  1,
-		Metric:    MismatchPct,
-		Build:     buildChecksum,
+		Profile:     dta.Profile{circuit.UnitCompare: "u32"},
+		OutSymbol:   "out",
+		OutWords:    1,
+		Metric:      MismatchPct,
+		QualityName: "bit-exactness",
+		Build:       buildChecksum,
 	}
 }
 

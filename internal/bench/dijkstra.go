@@ -29,6 +29,8 @@ func Dijkstra() *Benchmark {
 		OutSymbol:    "outd",
 		OutWords:     DijkstraNodes * DijkstraNodes,
 		Metric:       MismatchPct,
+		QualityName:  "path-cost accuracy",
+		Quality:      func(int64) QualityFunc { return PathCostQuality },
 		Build:        buildDijkstra,
 	}
 }

@@ -30,8 +30,25 @@ func KMeans() *Benchmark {
 		OutSymbol:    "member",
 		OutWords:     KMeansPoints,
 		Metric:       MismatchPct,
+		QualityName:  "distortion ratio",
+		Quality:      kmeansQuality,
 		Build:        buildKMeans,
 	}
+}
+
+// kmeansInputs regenerates the benchmark's input point set for a seed —
+// the same draws buildKMeans embeds into the kernel's data image, kept
+// in sync with it so the quality extractor scores the clustering over
+// exactly the points the simulated run clustered.
+func kmeansInputs(seed int64) (px, py []uint32) {
+	r := rng(seed)
+	px = make([]uint32, KMeansPoints)
+	py = make([]uint32, KMeansPoints)
+	for i := range px {
+		px[i] = uint32(r.Intn(256))
+		py[i] = uint32(r.Intn(256))
+	}
+	return px, py
 }
 
 // goldenKMeans mirrors the kernel bit for bit (uint32 wrap-around
@@ -74,13 +91,7 @@ func goldenKMeans(px, py []uint32) []uint32 {
 }
 
 func buildKMeans(seed int64) (string, []uint32, error) {
-	r := rng(seed)
-	px := make([]uint32, KMeansPoints)
-	py := make([]uint32, KMeansPoints)
-	for i := range px {
-		px[i] = uint32(r.Intn(256))
-		py[i] = uint32(r.Intn(256))
-	}
+	px, py := kmeansInputs(seed)
 	want := goldenKMeans(px, py)
 
 	src := fmt.Sprintf(`

@@ -18,6 +18,8 @@ func MatMult8() *Benchmark {
 		OutSymbol:    "cmat",
 		OutWords:     MatDim * MatDim,
 		Metric:       MSEMetric,
+		QualityName:  "output SNR",
+		Quality:      func(int64) QualityFunc { return SNRQuality },
 		Build:        func(seed int64) (string, []uint32, error) { return buildMatMult(seed, 8) },
 	}
 }
@@ -32,6 +34,8 @@ func MatMult16() *Benchmark {
 		OutSymbol:    "cmat",
 		OutWords:     MatDim * MatDim,
 		Metric:       MSEMetric,
+		QualityName:  "output SNR",
+		Quality:      func(int64) QualityFunc { return SNRQuality },
 		Build:        func(seed int64) (string, []uint32, error) { return buildMatMult(seed, 16) },
 	}
 }

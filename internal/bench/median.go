@@ -25,6 +25,8 @@ func Median() *Benchmark {
 		OutSymbol:    "out",
 		OutWords:     1,
 		Metric:       RelativeErrorPct,
+		QualityName:  "median exactness",
+		Quality:      func(int64) QualityFunc { return RelErrQuality },
 		Build:        buildMedian,
 	}
 }

@@ -38,6 +38,7 @@ func micro(name, op string, profile dta.Profile, bits int) *Benchmark {
 		OutSymbol:      "carr",
 		OutWords:       MicroN,
 		Metric:         MSEMetric,
+		QualityName:    "bit-exactness",
 		Build: func(seed int64) (string, []uint32, error) {
 			return buildMicro(op, bits, seed)
 		},

@@ -397,3 +397,64 @@ func TestStatsExposesCluster(t *testing.T) {
 		t.Error("stats lack the per-lane scheduler snapshot")
 	}
 }
+
+// TestClusterQualityFlows pins the per-trial quality distribution into
+// the distributed path: cells computed on remote workers travel as JSON
+// Points, and their quality summary must (a) be statistically
+// equivalent across cluster shapes — identical, in fact, since trial
+// RNG is schedule-independent — and (b) actually show degradation at an
+// operating point above the failure cliff, proving the fields survive
+// the wire rather than decoding as zeros.
+func TestClusterQualityFlows(t *testing.T) {
+	spec := server.JobSpec{
+		Benches: []string{"median"},
+		Models:  []string{"C"},
+		Vdds:    []float64{0.7},
+		Sigmas:  []float64{0.010},
+		Freqs:   []float64{700, 860},
+		Trials:  40,
+		Seed:    23,
+	}
+	local := runBackend(t, server.GridBackend{System: system()}, spec)
+
+	shapes := make(map[int][]mc.CellResult)
+	for _, workers := range []int{1, 4} {
+		urls := startWorkers(t, workers, 0)
+		coord, err := New(system(), nil, urls, Config{LeaseCells: 1, Client: testClient()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shapes[workers] = runBackend(t, coord, spec)
+	}
+
+	for workers, cells := range shapes {
+		if len(cells) != len(local) {
+			t.Fatalf("%d workers: %d cells, want %d", workers, len(cells), len(local))
+		}
+		for i, c := range cells {
+			if c.Point != local[i].Point {
+				t.Errorf("%d workers: cell %d Point differs from in-process run:\nremote %+v\nlocal  %+v",
+					workers, i, c.Point, local[i].Point)
+			}
+		}
+	}
+
+	// The clean cell is quality-perfect; the cell above the failure
+	// point carries a real, degraded distribution (not wire-zeroed).
+	for _, c := range shapes[4] {
+		q := c.Point
+		switch c.Model.FreqMHz {
+		case 700:
+			if q.QualityMean != 1 || q.QualityP99 != 1 {
+				t.Errorf("clean cell quality not perfect: %+v", q)
+			}
+		case 860:
+			if q.QualityMean <= 0 || q.QualityMean >= 1 {
+				t.Errorf("degraded cell QualityMean = %v, want inside (0, 1)", q.QualityMean)
+			}
+			if q.QualityLo == 0 && q.QualityHi == 0 {
+				t.Errorf("degraded cell lost its Wilson interval over the wire: %+v", q)
+			}
+		}
+	}
+}

@@ -179,12 +179,17 @@ func cellKey(fingerprint, benchDigest string, s Spec, c Cell) string {
 	// never alias results computed under a different law. The rng=x1
 	// marker names the per-trial RNG family (xoshiro256++ streams keyed
 	// by SubSeed): changing the family changes every sampled result, so
-	// cells computed under the old stdlib streams must miss.
+	// cells computed under the old stdlib streams must miss. The q=v1
+	// marker names the quality-metric class: Points checkpointed before
+	// per-trial quality scoring existed (no Quality* fields in the gob)
+	// would decode with silently zero quality, so they must miss and be
+	// recomputed; bump the class whenever an extractor's definition
+	// changes.
 	path := "exact"
 	if (s.Mode == ModeAuto || s.Mode == ModeFirstFault) && !c.Bench.PerTrialInputs && s.WatchdogFactor >= 1 {
 		path = "firstfault"
 	}
-	return fmt.Sprintf("sys=%s|bench=%s|prog=%s|inputSeed=%d|model=%+v|trials=%d|tmin=%d|tmax=%d|z=%g|eps=%g|seed=%d|wf=%g|path=%s|rng=x1",
+	return fmt.Sprintf("sys=%s|bench=%s|prog=%s|inputSeed=%d|model=%+v|trials=%d|tmin=%d|tmax=%d|z=%g|eps=%g|seed=%d|wf=%g|path=%s|rng=x1|q=v1",
 		fingerprint, c.Bench.Name, benchDigest, s.InputSeed, c.Model,
 		s.Trials, s.TrialsMin, s.TrialsMax, s.WilsonZ, s.CorrectEps,
 		s.Seed, s.WatchdogFactor, path)

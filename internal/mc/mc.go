@@ -85,8 +85,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/artifact"
@@ -233,10 +235,15 @@ func (s Spec) withDefaults() Spec {
 		s.Workers = runtime.NumCPU()
 	}
 	if s.InputSeed == 0 {
-		s.InputSeed = 42
+		s.InputSeed = DefaultInputSeed
 	}
 	return s
 }
+
+// DefaultInputSeed is the benchmark input seed a zero Spec.InputSeed
+// resolves to; exported so downstream consumers of grid results (the
+// mitigation evaluator) can name the same inputs a defaulted grid used.
+const DefaultInputSeed int64 = 42
 
 // adaptive reports whether the spec (after withDefaults) uses adaptive
 // trial allocation.
@@ -260,6 +267,17 @@ type Progress struct {
 }
 
 // Point aggregates one (configuration, frequency) data point.
+//
+// The Quality* fields summarize the application-level quality
+// distribution over all trials of the point: every finished trial is
+// scored by the benchmark's quality extractor (bench.QualityFunc —
+// kmeans distortion ratio, matmult output SNR, median exactness,
+// dijkstra path-cost accuracy, bit-exactness otherwise; 1.0 = as good
+// as golden), and non-finished trials score 0. QualityP50/QualityP99
+// are tail guarantees — the quality met by at least 50% / 99% of
+// trials — and QualityLo/QualityHi bound the mean with a Wilson-style
+// 95% interval (stats.WilsonFrac), which is what the
+// statistical-equivalence tests compare across trial paths.
 type Point struct {
 	FreqMHz      float64
 	Trials       int     // trials actually run (varies under adaptive allocation)
@@ -269,6 +287,12 @@ type Point struct {
 	OutputErr    float64 // mean metric over finished runs (0 if none finished)
 	OutputErrAll float64 // mean metric with non-finished runs counted as 100%
 	KernelCycles float64 // mean kernel cycles of finished runs
+
+	QualityMean float64 // mean quality over all trials (non-finished = 0)
+	QualityP50  float64 // quality met by at least 50% of trials
+	QualityP99  float64 // quality met by at least 99% of trials
+	QualityLo   float64 // Wilson-style 95% lower bound on the mean quality
+	QualityHi   float64 // Wilson-style 95% upper bound on the mean quality
 }
 
 // trialResult is one trial's raw outcome, indexed by trial number so
@@ -278,6 +302,7 @@ type trialResult struct {
 	fiBits            uint64
 	kernelCycles      uint64
 	metric            float64
+	quality           float64
 	err               error
 }
 
@@ -293,7 +318,21 @@ type benchCtx struct {
 	watchdog uint64
 	golden   *core.Golden
 	metric0  float64
+	// qual scores a finished trial's application-level quality (bound to
+	// the spec's input seed); quality0 is the fault-free score — exactly
+	// 1.0 by the extractor contract (bit-exact outputs score 1.0), kept
+	// as a field so the fault-free short-circuits and the full path stay
+	// bit-identical by construction.
+	qual     bench.QualityFunc
+	quality0 float64
 }
+
+// qualityDisabled suppresses per-trial quality scoring, reverting
+// trials to the pre-quality boolean verdict (quality := correct). It
+// exists only for the overhead benchmarks in quality_bench_test.go,
+// which pin the quality path's cost against the boolean baseline; it
+// must never be set outside those benchmarks.
+var qualityDisabled bool
 
 // newBenchCtx runs (or fetches from the system caches) the one golden
 // execution the benchmark's cells share: neither the program nor the
@@ -303,7 +342,7 @@ type benchCtx struct {
 // trace instead, so repeated grids over one benchmark share a single
 // golden execution.
 func newBenchCtx(s Spec, b *bench.Benchmark) (*benchCtx, error) {
-	ctx := &benchCtx{bench: b}
+	ctx := &benchCtx{bench: b, qual: b.QualityAt(s.InputSeed)}
 	if s.replayableFor(b) {
 		g, err := s.System.Golden(b, s.InputSeed)
 		if err != nil {
@@ -314,6 +353,7 @@ func newBenchCtx(s Spec, b *bench.Benchmark) (*benchCtx, error) {
 		if ctx.watchdog >= g.Trace.Cycles {
 			ctx.golden = g
 			ctx.metric0 = b.Metric(g.Want, g.Want)
+			ctx.quality0 = ctx.qual(g.Want, g.Want)
 		}
 		// Otherwise the budget is below the golden cycle count and would
 		// watchdog even fault-free trials: trials run the full path, but
@@ -632,6 +672,7 @@ func (e *engine) runTrialFirstFault(m *mem.Memory, p *pointState, ti int) trialR
 		r.finished, r.correct = true, true
 		r.kernelCycles = ctx.golden.Trace.KernelCycles
 		r.metric = ctx.metric0
+		r.quality = ctx.quality0
 		return r
 	}
 	cp := ctx.golden.Trace.CheckpointBefore(fork.Query)
@@ -643,7 +684,7 @@ func (e *engine) runTrialFirstFault(m *mem.Memory, p *pointState, ti int) trialR
 	}
 	c.SetWatchdog(ctx.watchdog)
 	st := c.Run()
-	return e.finishTrial(ctx, c, m, ctx.golden.Prog, ctx.golden.Want, st)
+	return e.finishTrial(ctx, ctx.qual, c, m, ctx.golden.Prog, ctx.golden.Want, st)
 }
 
 // plan decides a whole window of a batched cell's trials in one pass:
@@ -704,6 +745,7 @@ func (e *engine) plan(p *pointState, from, to int) {
 		finished: true, correct: true,
 		kernelCycles: ctx.golden.Trace.KernelCycles,
 		metric:       ctx.metric0,
+		quality:      ctx.quality0,
 	}
 	for i := from; i < to; i++ {
 		if !faulted[i-from] {
@@ -750,7 +792,7 @@ func (e *engine) runChunk(m, wm *mem.Memory, p *pointState, ch *trialChunk) {
 		fc := walker.Fork(m, fi.NewForkInjector(p.hazModel.NewTrial(t.rng), t.fork.Query, t.fork))
 		fc.SetWatchdog(ctx.watchdog)
 		st := fc.Run()
-		e.complete(p, t.ti, e.finishTrial(ctx, fc, m, ctx.golden.Prog, ctx.golden.Want, st))
+		e.complete(p, t.ti, e.finishTrial(ctx, ctx.qual, fc, m, ctx.golden.Prog, ctx.golden.Want, st))
 	}
 }
 
@@ -773,6 +815,7 @@ func (e *engine) runTrialReplay(m *mem.Memory, p *pointState, ti int) trialResul
 		r.finished, r.correct = true, true
 		r.kernelCycles = ctx.golden.Trace.KernelCycles
 		r.metric = ctx.metric0
+		r.quality = ctx.quality0
 		return r
 	}
 	cp := ctx.golden.Trace.CheckpointBefore(fork.Query)
@@ -784,7 +827,7 @@ func (e *engine) runTrialReplay(m *mem.Memory, p *pointState, ti int) trialResul
 	}
 	c.SetWatchdog(ctx.watchdog)
 	st := c.Run()
-	return e.finishTrial(ctx, c, m, ctx.golden.Prog, ctx.golden.Want, st)
+	return e.finishTrial(ctx, ctx.qual, c, m, ctx.golden.Prog, ctx.golden.Want, st)
 }
 
 // runTrialFull executes one fault-injected trial from the reset vector —
@@ -795,6 +838,7 @@ func (e *engine) runTrialFull(m *mem.Memory, p *pointState, ti int) trialResult 
 	var r trialResult
 	rng := stats.NewTrialRand(stats.SubSeed(s.Seed, ti))
 	prog, want := ctx.prog, ctx.want
+	qual := ctx.qual
 	if ctx.bench.PerTrialInputs {
 		src, w2, err := ctx.bench.Build(stats.SubSeed(s.InputSeed, ti))
 		if err != nil {
@@ -807,6 +851,7 @@ func (e *engine) runTrialFull(m *mem.Memory, p *pointState, ti int) trialResult 
 			return r
 		}
 		prog, want = p2, w2
+		qual = ctx.bench.QualityAt(stats.SubSeed(s.InputSeed, ti))
 	}
 	m.Reset()
 	c := cpu.New(m, p.model.NewTrial(rng), s.System.Cfg.CPU)
@@ -816,12 +861,15 @@ func (e *engine) runTrialFull(m *mem.Memory, p *pointState, ti int) trialResult 
 	}
 	c.SetWatchdog(ctx.watchdog)
 	st := c.Run()
-	return e.finishTrial(ctx, c, m, prog, want, st)
+	return e.finishTrial(ctx, qual, c, m, prog, want, st)
 }
 
 // finishTrial folds a completed simulation into a trialResult; shared by
-// the full and forked-replay paths.
-func (e *engine) finishTrial(ctx *benchCtx, c *cpu.CPU, m *mem.Memory, prog *asm.Program, want []uint32, st cpu.Status) trialResult {
+// the full and forked-replay paths. qual is the trial's quality
+// extractor — ctx.qual everywhere except PerTrialInputs trials, whose
+// extractor is rebound to the trial's input seed. Quality scoring
+// consumes no RNG, so it cannot perturb the bit-identity guarantees.
+func (e *engine) finishTrial(ctx *benchCtx, qual bench.QualityFunc, c *cpu.CPU, m *mem.Memory, prog *asm.Program, want []uint32, st cpu.Status) trialResult {
 	var r trialResult
 	r.fiBits = c.FIBits
 	r.kernelCycles = c.KernelCycles
@@ -843,6 +891,13 @@ func (e *engine) finishTrial(ctx *benchCtx, c *cpu.CPU, m *mem.Memory, prog *asm
 			r.correct = false
 			break
 		}
+	}
+	if qualityDisabled {
+		if r.correct {
+			r.quality = 1
+		}
+	} else {
+		r.quality = qual(got, want)
 	}
 	return r
 }
@@ -958,18 +1013,25 @@ func (e *engine) run(ctx context.Context) ([]Point, error) {
 }
 
 // aggregate folds raw trial results (in trial-index order) into the
-// paper's per-point metrics.
+// paper's per-point metrics and the quality distribution summary.
+// Quality sums run in trial-index order, so aggregated values inherit
+// the engine's bit-identity guarantee across schedules and grid shapes.
 func aggregate(fMHz float64, results []trialResult) (Point, error) {
 	pt := Point{FreqMHz: fMHz, Trials: len(results)}
 	var fin, cor int
 	var fiBits, kCycles, kCyclesFin uint64
-	var errSum, errAllSum float64
+	var errSum, errAllSum, qSum float64
+	qs := make([]float64, 0, len(results))
 	for _, r := range results {
 		if r.err != nil {
 			return Point{}, r.err
 		}
 		fiBits += r.fiBits
 		kCycles += r.kernelCycles
+		// Non-finished trials carry the zero-value quality 0: a run the
+		// watchdog killed produced nothing of application value.
+		qSum += r.quality
+		qs = append(qs, r.quality)
 		if r.finished {
 			fin++
 			errSum += r.metric
@@ -992,7 +1054,33 @@ func aggregate(fMHz float64, results []trialResult) (Point, error) {
 		pt.KernelCycles = float64(kCyclesFin) / float64(fin)
 	}
 	pt.OutputErrAll = errAllSum / float64(len(results))
+	if n := len(results); n > 0 {
+		pt.QualityMean = qSum / float64(n)
+		sort.Float64s(qs)
+		pt.QualityP50 = qualityQuantile(qs, 0.50)
+		pt.QualityP99 = qualityQuantile(qs, 0.99)
+		pt.QualityLo, pt.QualityHi = stats.WilsonFrac(qSum, n, stats.WilsonZ95)
+	}
 	return pt, nil
+}
+
+// qualityQuantile returns the quality met by at least frac of the
+// trials: with qualities sorted ascending, the largest q such that at
+// least ceil(frac·n) trials score q or better — a tail guarantee, so
+// QualityP99 reads "99% of trials are at least this good".
+func qualityQuantile(sorted []float64, frac float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	i := n - int(math.Ceil(frac*float64(n)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return sorted[i]
 }
 
 func pct(n, total int) float64 { return float64(n) / float64(total) * 100 }
@@ -1094,6 +1182,7 @@ func runSerial(spec Spec, fMHz float64) (Point, error) {
 	watchdog := uint64(float64(goldenCycles) * s.WatchdogFactor)
 
 	results := make([]trialResult, s.Trials)
+	sharedQual := s.Bench.QualityAt(s.InputSeed)
 	var wg sync.WaitGroup
 	trialCh := make(chan int)
 	for w := 0; w < s.Workers; w++ {
@@ -1104,6 +1193,7 @@ func runSerial(spec Spec, fMHz float64) (Point, error) {
 			for t := range trialCh {
 				rng := stats.NewTrialRand(stats.SubSeed(s.Seed, t))
 				prog, want := sharedProg, sharedWant
+				qual := sharedQual
 				if s.Bench.PerTrialInputs {
 					src, w2, err := s.Bench.Build(stats.SubSeed(s.InputSeed, t))
 					if err != nil {
@@ -1116,6 +1206,7 @@ func runSerial(spec Spec, fMHz float64) (Point, error) {
 						continue
 					}
 					prog, want = p2, w2
+					qual = s.Bench.QualityAt(stats.SubSeed(s.InputSeed, t))
 				}
 				m.Reset()
 				c := cpu.New(m, model.NewTrial(rng), s.System.Cfg.CPU)
@@ -1144,6 +1235,13 @@ func runSerial(spec Spec, fMHz float64) (Point, error) {
 						r.correct = false
 						break
 					}
+				}
+				if qualityDisabled {
+					if r.correct {
+						r.quality = 1
+					}
+				} else {
+					r.quality = qual(got, want)
 				}
 			}
 		}()

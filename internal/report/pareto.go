@@ -1,0 +1,189 @@
+// Energy-vs-quality Pareto curves: the report-layer rendering of the
+// mitigation scenarios (internal/mitigate). Every (benchmark, model,
+// Vdd, sigma) group collects its candidate operating points — one per
+// (frequency, mitigation scheme) — and the non-dominated subset (no
+// other candidate is at once cheaper and at least as good) is flagged
+// as the group's Pareto front, the frontier a designer picking an
+// overscaled operating point actually chooses from.
+
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/mitigate"
+)
+
+// ParetoPoint is one candidate operating point of a group: a
+// (frequency, scheme) pair with its predicted energy and effective
+// quality, flagged when it lies on the group's Pareto front.
+type ParetoPoint struct {
+	Scheme         string  `json:"scheme"`
+	FreqMHz        float64 `json:"freq_mhz"`
+	FaultsPerTrial float64 `json:"faults_per_trial"`
+	HazardExact    bool    `json:"hazard_exact"`
+	Detected       float64 `json:"detected_per_trial"`
+	RawQuality     float64 `json:"raw_quality"`
+	EffQuality     float64 `json:"eff_quality"`
+	BaseEnergyPJ   float64 `json:"base_energy_pj"`
+	OverheadPJ     float64 `json:"overhead_pj"`
+	TotalEnergyPJ  float64 `json:"total_energy_pj"`
+	OnFront        bool    `json:"on_front"`
+}
+
+// ParetoSeries is one (benchmark, model, Vdd, sigma) group with its
+// candidates in (frequency, scheme) evaluation order.
+type ParetoSeries struct {
+	Label  string        `json:"label"`
+	Bench  string        `json:"bench,omitempty"`
+	Kind   string        `json:"model,omitempty"`
+	Vdd    float64       `json:"vdd"`
+	Sigma  float64       `json:"sigma"`
+	Points []ParetoPoint `json:"points"`
+}
+
+// ParetoDoc is the machine-readable energy-vs-quality trade-off of a
+// run.
+type ParetoDoc struct {
+	Meta   Meta           `json:"meta"`
+	Series []ParetoSeries `json:"series"`
+}
+
+// Pareto folds mitigation results into the Pareto document: results
+// are grouped by (benchmark, model kind, Vdd, sigma) — consecutive
+// grouping, matching the grid's frequency-innermost enumeration and
+// mitigate.Evaluate's cell order — and each group's non-dominated
+// candidates are flagged.
+func Pareto(meta Meta, rs []mitigate.Result) *ParetoDoc {
+	d := &ParetoDoc{Meta: meta}
+	sameGroup := func(a, b mitigate.Result) bool {
+		return a.Bench == b.Bench && a.Model.Kind == b.Model.Kind &&
+			a.Model.Vdd == b.Model.Vdd && a.Model.Sigma == b.Model.Sigma
+	}
+	for i, r := range rs {
+		if i == 0 || !sameGroup(rs[i-1], r) {
+			d.Series = append(d.Series, ParetoSeries{
+				Label: fmt.Sprintf("%s model=%s vdd=%gV sigma=%gmV",
+					r.Bench, modelKind(r.Model), r.Model.Vdd, r.Model.Sigma*1000),
+				Bench: r.Bench,
+				Kind:  r.Model.Kind,
+				Vdd:   r.Model.Vdd,
+				Sigma: r.Model.Sigma,
+			})
+		}
+		s := &d.Series[len(d.Series)-1]
+		s.Points = append(s.Points, ParetoPoint{
+			Scheme:         string(r.Scheme),
+			FreqMHz:        r.Model.FreqMHz,
+			FaultsPerTrial: r.FaultsPerTrial,
+			HazardExact:    r.HazardExact,
+			Detected:       r.Detected,
+			RawQuality:     r.RawQuality,
+			EffQuality:     r.EffQuality,
+			BaseEnergyPJ:   r.BaseEnergyPJ,
+			OverheadPJ:     r.OverheadPJ,
+			TotalEnergyPJ:  r.TotalEnergyPJ,
+		})
+	}
+	for i := range d.Series {
+		markFront(d.Series[i].Points)
+	}
+	return d
+}
+
+// markFront flags the non-dominated candidates: a point is on the
+// front unless some other point has no more energy and no less
+// quality, with at least one strict. Duplicate (energy, quality) pairs
+// are all kept — they are the same trade-off, not dominated.
+func markFront(pts []ParetoPoint) {
+	for i := range pts {
+		dominated := false
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			if pts[j].TotalEnergyPJ <= pts[i].TotalEnergyPJ &&
+				pts[j].EffQuality >= pts[i].EffQuality &&
+				(pts[j].TotalEnergyPJ < pts[i].TotalEnergyPJ ||
+					pts[j].EffQuality > pts[i].EffQuality) {
+				dominated = true
+				break
+			}
+		}
+		pts[i].OnFront = !dominated
+	}
+}
+
+// WriteParetoJSON encodes the Pareto document as indented JSON.
+func WriteParetoJSON(w io.Writer, d *ParetoDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteParetoCSV encodes the Pareto document as tidy CSV, one row per
+// candidate operating point.
+func WriteParetoCSV(w io.Writer, d *ParetoDoc) error {
+	if _, err := fmt.Fprintf(w, "# tool=%s seed=%d cells=%d axes=%q\n",
+		d.Meta.Tool, d.Meta.Seed, d.Meta.Cells, d.Meta.Axes); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"series", "bench", "model", "vdd_v", "sigma_v",
+		"scheme", "freq_mhz", "faults_per_trial", "hazard_exact",
+		"detected_per_trial", "raw_quality", "eff_quality",
+		"base_energy_pj", "overhead_pj", "total_energy_pj", "on_front"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range d.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Label, s.Bench, s.Kind, fmtF(s.Vdd), fmtF(s.Sigma),
+				p.Scheme, fmtF(p.FreqMHz), fmtF(p.FaultsPerTrial),
+				strconv.FormatBool(p.HazardExact), fmtF(p.Detected),
+				fmtF(p.RawQuality), fmtF(p.EffQuality),
+				fmtF(p.BaseEnergyPJ), fmtF(p.OverheadPJ),
+				fmtF(p.TotalEnergyPJ), strconv.FormatBool(p.OnFront),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePareto dispatches on format ("json" or "csv").
+func WritePareto(w io.Writer, format string, d *ParetoDoc) error {
+	switch format {
+	case "json":
+		return WriteParetoJSON(w, d)
+	case "csv":
+		return WriteParetoCSV(w, d)
+	}
+	return fmt.Errorf("report: unknown format %q (want json or csv)", format)
+}
+
+// WriteParetoFile writes the Pareto document to path (or to
+// stdoutFallback when path is empty), propagating close errors.
+func WriteParetoFile(path string, stdoutFallback io.Writer, format string, d *ParetoDoc) error {
+	if path == "" {
+		return WritePareto(stdoutFallback, format, d)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePareto(f, format, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

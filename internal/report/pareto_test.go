@@ -1,0 +1,118 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mc"
+	"repro/internal/mitigate"
+)
+
+// The Pareto renderings are pinned byte-for-byte against committed
+// fixtures: any change to the mitigation arithmetic, the grouping, the
+// front marking or the encoders that shifts a single digit shows up
+// here. Regenerate after an intended change with:
+//
+//	go test ./internal/report/ -run Pareto -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture %s (run with -update to create it): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the committed fixture.\n--- got ---\n%s\n--- want ---\n%s\nRun with -update if the change is intended.",
+			path, got, want)
+	}
+}
+
+// paretoDoc builds a deterministic document through the real mitigation
+// arithmetic (no simulator: the FIRate fallback path is pure float
+// math) over a small hand-written frequency sweep per kernel.
+func paretoDoc() *ParetoDoc {
+	mk := func(bench string, f, fiRate, qmean float64) mc.CellResult {
+		return mc.CellResult{
+			Bench: bench,
+			Model: core.ModelSpec{Kind: "C", Vdd: 0.7, Sigma: 0.010, FreqMHz: f},
+			Point: mc.Point{
+				FreqMHz: f, Trials: 100, KernelCycles: 4000,
+				FIRate: fiRate, CorrectPct: 100 * qmean, FinishedPct: 100,
+				QualityMean: qmean,
+			},
+		}
+	}
+	cells := []mc.CellResult{
+		mk("median", 700, 0, 1),
+		mk("median", 840, 0.02, 0.97),
+		mk("median", 880, 0.35, 0.62),
+		mk("kmeans", 700, 0, 1),
+		mk("kmeans", 880, 0.35, 0.88),
+	}
+	rs := mitigate.Evaluate(nil, 42, cells, mitigate.Options{})
+	return Pareto(Meta{Tool: "test", Seed: 42, Cells: len(cells)}, rs)
+}
+
+func TestParetoJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePareto(&buf, "json", paretoDoc()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "pareto.json.golden", buf.Bytes())
+}
+
+func TestParetoCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePareto(&buf, "csv", paretoDoc()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "pareto.csv.golden", buf.Bytes())
+}
+
+func TestParetoFrontMarking(t *testing.T) {
+	d := paretoDoc()
+	if len(d.Series) != 2 {
+		t.Fatalf("series = %d, want 2 (median, kmeans)", len(d.Series))
+	}
+	for _, s := range d.Series {
+		front := 0
+		for _, p := range s.Points {
+			if !p.OnFront {
+				continue
+			}
+			front++
+			// A front point must not be dominated by any other point.
+			for _, q := range s.Points {
+				if q.TotalEnergyPJ <= p.TotalEnergyPJ && q.EffQuality >= p.EffQuality &&
+					(q.TotalEnergyPJ < p.TotalEnergyPJ || q.EffQuality > p.EffQuality) {
+					t.Errorf("%s: dominated point on front: %+v dominated by %+v", s.Label, p, q)
+				}
+			}
+		}
+		if front == 0 {
+			t.Errorf("%s: empty Pareto front", s.Label)
+		}
+	}
+}
+
+func TestParetoUnknownFormat(t *testing.T) {
+	if err := WritePareto(&bytes.Buffer{}, "xml", &ParetoDoc{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -105,7 +105,9 @@ func WriteCSV(w io.Writer, d *Document) error {
 	cw := csv.NewWriter(w)
 	header := []string{"series", "bench", "model", "vdd_v", "sigma_v",
 		"freq_mhz", "trials", "finished_pct", "correct_pct",
-		"fi_per_kcycle", "output_err", "output_err_all", "kernel_cycles"}
+		"fi_per_kcycle", "output_err", "output_err_all", "kernel_cycles",
+		"quality_mean", "quality_p50", "quality_p99",
+		"quality_lo", "quality_hi"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -117,6 +119,8 @@ func WriteCSV(w io.Writer, d *Document) error {
 				fmtF(p.FinishedPct), fmtF(p.CorrectPct),
 				fmtF(p.FIRate), fmtF(p.OutputErr), fmtF(p.OutputErrAll),
 				fmtF(p.KernelCycles),
+				fmtF(p.QualityMean), fmtF(p.QualityP50), fmtF(p.QualityP99),
+				fmtF(p.QualityLo), fmtF(p.QualityHi),
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

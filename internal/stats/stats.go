@@ -330,6 +330,42 @@ func Wilson(k, n int, z float64) (lo, hi float64) {
 	return lo, hi
 }
 
+// WilsonFrac returns the Wilson score interval for the mean of a
+// [0, 1]-bounded variable with observed sum over n observations,
+// treating the mean as a pseudo-proportion (fractional success count).
+// For a genuinely binary variable it reduces exactly to Wilson; for a
+// continuous quality score in [0, 1] it is a conservative
+// "Wilson-style" interval — the variance bound p(1-p) dominates the
+// true variance of any [0, 1] variable with that mean — which is what
+// the mc engine reports for per-point quality distributions.
+// WilsonFrac(sum, 0, z) returns the uninformative interval [0, 1].
+func WilsonFrac(sum float64, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if sum < 0 {
+		sum = 0
+	}
+	nn := float64(n)
+	if sum > nn {
+		sum = nn
+	}
+	p := sum / nn
+	z2 := z * z
+	denom := 1 + z2/nn
+	center := (p + z2/(2*nn)) / denom
+	half := z * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn)) / denom
+	lo = center - half
+	hi = center + half
+	if sum == 0 || lo < 0 {
+		lo = 0
+	}
+	if sum == nn || hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // WilsonLower returns only the lower bound of the Wilson interval.
 func WilsonLower(k, n int, z float64) float64 {
 	lo, _ := Wilson(k, n, z)

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Tracks the cost of per-trial quality scoring: runs the paired
+# quality/boolean trial benchmarks (median, kmeans, matmult8 — matched
+# Specs, the boolean side approximating the pre-quality engine via the
+# qualityDisabled hook) and writes the per-kernel overhead ratios as
+# BENCH_quality.json at the repo root. The acceptance metric: the
+# quality path costs at most 10% over the boolean verdict on every
+# kernel. Also re-runs the cache no-alias test against a warm store —
+# a pre-quality checkpoint must never be served to a quality-aware
+# grid (0 false cache hits).
+#
+#   ./scripts/bench_quality.sh            # default -benchtime 20x
+#   BENCHTIME=50x ./scripts/bench_quality.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-20x}"
+max_overhead="${MAX_OVERHEAD:-1.10}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# Warm-store no-alias assertion: plants a poisoned Point under every
+# pre-quality cell key and fails on a single false cache hit.
+go test ./internal/mc/ -run 'TestQualityCellKeyClassNoAlias' -count 1
+
+go test -run '^$' \
+  -bench 'BenchmarkTrials(Median|KMeans|MatMult8)(Quality|Boolean)$' \
+  -benchtime "$benchtime" -count 1 ./internal/mc/ | tee "$raw"
+
+awk -v benchtime="$benchtime" -v max="$max_overhead" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    ns[name] = $3
+    lines[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3)
+  }
+  END {
+    print "{"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    print "  \"results\": ["
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+    print "  ],"
+    fail = 0
+    m = split("Median KMeans MatMult8", kernels, " ")
+    for (i = 1; i <= m; i++) {
+      k = kernels[i]
+      q = ns["BenchmarkTrials" k "Quality"]
+      b = ns["BenchmarkTrials" k "Boolean"]
+      r = (b > 0 ? q / b : 0)
+      ratio[k] = r
+      if (r > max) fail = 1
+    }
+    printf "  \"max_overhead\": %s,\n", max
+    printf "  \"overhead\": {"
+    for (i = 1; i <= m; i++)
+      printf "%s\"%s\": %.4f", (i > 1 ? ", " : ""), tolower(kernels[i]), ratio[kernels[i]]
+    print "},"
+    printf "  \"pass\": %s\n", (fail ? "false" : "true")
+    print "}"
+    exit fail
+  }
+' "$raw" > BENCH_quality.json || { cat BENCH_quality.json; echo "quality-path overhead exceeds ${max_overhead}x"; exit 1; }
+
+cat BENCH_quality.json
+echo "wrote BENCH_quality.json"
